@@ -1,0 +1,17 @@
+"""Benchmark-suite configuration.
+
+Benches print their tables via ``print``; run pytest with ``-s`` (or read the
+captured output on failure) to see the regenerated figures.  ``BENCH_SCALE``
+can be raised for closer-to-paper workload sizes.
+"""
+
+import os
+import sys
+
+# Allow `from benchmarks.harness import ...` and `from harness import ...`
+# regardless of how pytest sets up sys.path.
+sys.path.insert(0, os.path.dirname(__file__))
+
+# Global workload scale multiplier for the benches (1.0 = the scales chosen
+# for fast runs; raise via REPRO_BENCH_SCALE for fuller experiments).
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))

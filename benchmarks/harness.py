@@ -1,0 +1,128 @@
+"""Shared helpers for the per-figure/table benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper's evaluation
+and prints the same rows/series the paper reports.  Absolute numbers come
+from the simulation substrate, so only the *shape* is asserted (who wins, by
+roughly what factor, where crossovers fall); EXPERIMENTS.md records
+paper-vs-measured values.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.core.config import ICCacheConfig, ManagerConfig, SelectorConfig
+from repro.core.service import ICCacheService
+from repro.judge import Autorater, PairwiseReport, evaluate_pairwise
+from repro.llm.icl import ExampleView
+from repro.llm.model import SimulatedLLM
+from repro.llm.zoo import get_model_pair
+from repro.utils.tokens import count_tokens
+from repro.workload.datasets import SyntheticDataset
+from repro.workload.request import Request
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Print a paper-style table to the bench log."""
+    widths = [
+        max(len(str(h)), *(len(_fmt(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    print(f"\n=== {title} ===")
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(_fmt(v).ljust(w) for v, w in zip(row, widths)))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def judged(qualities_a, qualities_b, seed: int = 0) -> PairwiseReport:
+    """Pairwise autorater evaluation with a bench-local judge seed."""
+    return evaluate_pairwise(qualities_a, qualities_b, Autorater(seed=seed))
+
+
+def build_topic_example_bank(
+    dataset: SyntheticDataset, teacher: SimulatedLLM,
+    limit: int | None = None, max_example_tokens: int = 400,
+) -> dict[int, list[ExampleView]]:
+    """Teacher-generated example views grouped by topic.
+
+    This is the "offline" example pool used by figure benches that isolate
+    the ICL effect from the full selector pipeline (e.g. Fig. 4, Fig. 17).
+    ``max_example_tokens`` models stored demonstrations being truncated for
+    prompting — long-context tasks (math500) would otherwise blow the
+    example budget the selector enforces in the full pipeline.
+    """
+    bank: dict[int, list[ExampleView]] = defaultdict(list)
+    history = dataset.example_bank_requests()
+    if limit is not None:
+        history = history[:limit]
+    for request in history:
+        result = teacher.generate(request)
+        tokens = min(max_example_tokens,
+                     request.prompt_tokens + count_tokens(result.text))
+        bank[request.topic_id].append(ExampleView(
+            latent=request.latent,
+            quality=result.quality,
+            tokens=tokens,
+        ))
+    return bank
+
+
+def best_examples_for(bank: dict[int, list[ExampleView]], request: Request,
+                      k: int = 5) -> list[ExampleView]:
+    """Top-k same-topic examples by stored quality (oracle selection)."""
+    candidates = bank.get(request.topic_id, [])
+    return sorted(candidates, key=lambda v: v.quality, reverse=True)[:k]
+
+
+def random_examples_from(bank: dict[int, list[ExampleView]],
+                         rng: np.random.Generator, k: int = 5) -> list[ExampleView]:
+    """k examples drawn uniformly from the whole bank (the Fig. 4 control)."""
+    flat = [view for views in bank.values() for view in views]
+    if not flat:
+        return []
+    indices = rng.integers(0, len(flat), size=min(k, len(flat)))
+    return [flat[i] for i in indices]
+
+
+def make_service(dataset_name: str, pair: str = "gemma", scale: float = 0.001,
+                 seed: int = 0, seed_limit: int | None = 400,
+                 **config_overrides) -> tuple[ICCacheService, SyntheticDataset]:
+    """A seeded IC-Cache service over one dataset profile."""
+    small_name, large_name = _pair_names(pair)
+    config = ICCacheConfig(
+        small_model=small_name,
+        large_model=large_name,
+        seed=seed,
+        manager=ManagerConfig(sanitize=False),
+        **config_overrides,
+    )
+    service = ICCacheService(config)
+    dataset = SyntheticDataset(dataset_name, scale=scale, seed=seed)
+    history = dataset.example_bank_requests()
+    if seed_limit is not None:
+        history = history[:seed_limit]
+    service.seed_cache(history)
+    return service, dataset
+
+
+def _pair_names(pair: str) -> tuple[str, str]:
+    small, large = get_model_pair(pair)
+    return small.name, large.name
+
+
+def reference_qualities(requests: list[Request], model: SimulatedLLM) -> list[float]:
+    """Response qualities of serving every request on one fixed model."""
+    return [model.generate(r).quality for r in requests]

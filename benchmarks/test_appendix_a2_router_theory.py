@@ -1,0 +1,120 @@
+"""Appendix A.2 — empirical checks of the router's theoretical guarantees.
+
+Theorem 1/2: with hybrid Thompson sampling, the probability of mis-
+identifying the best model decays with rounds T, and the rounds needed grow
+as the inverse-squared utility gap.  Theorem 4: under the tanh load bias,
+the selection probability of the cheapest viable model tends to 1 as load
+grows.
+"""
+
+import numpy as np
+
+from harness import print_table, run_once
+from repro.core.config import RouterConfig
+from repro.core.router import BanditRouter, RouterArm
+from repro.utils.rng import make_rng
+from repro.workload.datasets import SyntheticDataset
+
+
+def _identification_error(gap: float, horizon: int, trials: int = 12,
+                          seed: int = 0) -> float:
+    """Fraction of trials where the router mis-ranks the better arm."""
+    dataset = SyntheticDataset("ms_marco", scale=0.0005, seed=seed)
+    requests = dataset.online_requests(horizon)
+    errors = 0
+    for trial in range(trials):
+        rng = make_rng(seed * 1000 + trial)
+        router = BanditRouter(
+            arms=[RouterArm("good", 0.1), RouterArm("bad", 0.1)],
+            config=RouterConfig(cost_penalty=0.0),
+            seed=trial,
+        )
+        means = {"good": 0.6 + gap / 2, "bad": 0.6 - gap / 2}
+        for request in requests:
+            choice = router.route(request, [], load=0.0)
+            reward = means[choice.model_name] + rng.normal(0, 0.1)
+            router.update(choice.model_name, choice.features, reward)
+        # Identification: which arm does the posterior rank higher on a
+        # neutral context?
+        probe = requests[0]
+        from repro.core.router import routing_features
+        x = routing_features(probe, [])
+        scores = {
+            arm.model_name: router._posteriors[arm.model_name].mean_score(x)
+            for arm in router.arms
+        }
+        if scores["good"] <= scores["bad"]:
+            errors += 1
+    return errors / trials
+
+
+def _overload_cheap_probability(load: float, seed: int = 1) -> float:
+    """P(cheapest arm) after training, at a given sustained load."""
+    dataset = SyntheticDataset("ms_marco", scale=0.0005, seed=seed)
+    router = BanditRouter(
+        arms=[RouterArm("cheap", 0.05), RouterArm("expensive", 1.0)],
+        config=RouterConfig(cost_penalty=0.0),
+        seed=seed,
+    )
+    rng = make_rng(seed)
+    # Train: the expensive arm is genuinely better on reward.
+    for request in dataset.online_requests(300):
+        choice = router.route(request, [], load=0.1)
+        reward = 0.85 if choice.model_name == "expensive" else 0.6
+        router.update(choice.model_name, choice.features,
+                      reward + rng.normal(0, 0.03))
+    # Saturate the load EMA at the target level, then measure choices.
+    for _ in range(100):
+        router.observe_load(load)
+    probes = dataset.online_requests(100)
+    cheap = sum(
+        router.route(request, []).model_name == "cheap" for request in probes
+    )
+    return cheap / len(probes)
+
+
+def test_appendix_a2_router_convergence_and_bias(benchmark):
+    def experiment():
+        error_by_horizon = {
+            horizon: _identification_error(gap=0.15, horizon=horizon)
+            for horizon in (10, 60, 300)
+        }
+        error_by_gap = {
+            gap: _identification_error(gap=gap, horizon=120, seed=2)
+            for gap in (0.05, 0.3)
+        }
+        cheap_prob = {
+            load: _overload_cheap_probability(load)
+            for load in (0.1, 1.0, 3.0)
+        }
+        return error_by_horizon, error_by_gap, cheap_prob
+
+    error_by_horizon, error_by_gap, cheap_prob = run_once(benchmark, experiment)
+
+    print_table(
+        "Appendix A.2 (thm. 1): identification error vs rounds T",
+        ["T", "error rate"],
+        [[t, e] for t, e in error_by_horizon.items()],
+    )
+    print_table(
+        "Appendix A.2 (thm. 2): identification error vs utility gap (T=120)",
+        ["gap", "error rate"],
+        [[g, e] for g, e in error_by_gap.items()],
+    )
+    print_table(
+        "Appendix A.2 (thm. 4): P(cheapest arm) vs load",
+        ["load", "P(cheap)"],
+        [[load, p] for load, p in cheap_prob.items()],
+    )
+
+    # Thm. 1: error decays with T (monotone over the measured horizons).
+    horizons = sorted(error_by_horizon)
+    assert error_by_horizon[horizons[-1]] <= error_by_horizon[horizons[0]]
+    assert error_by_horizon[300] <= 0.1
+    # Thm. 2: larger gaps are identified more reliably at fixed T.
+    assert error_by_gap[0.3] <= error_by_gap[0.05]
+    # Thm. 4: P(cheapest) -> 1 as load grows past the threshold, despite the
+    # expensive arm's higher learned utility.
+    assert cheap_prob[0.1] < 0.5
+    assert cheap_prob[3.0] > 0.9
+    assert cheap_prob[1.0] >= cheap_prob[0.1]

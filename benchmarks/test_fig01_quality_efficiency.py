@@ -1,0 +1,63 @@
+"""Fig. 1 — the quality-efficiency trade-off of model pairs.
+
+Paper: Gemini-Flash vs Gemini-Pro (TTFT 0.497 vs 0.755 s, TBT 5 vs 15 ms,
+avg score -0.389) and Qwen2.5-7B vs DeepSeek-R1 (TTFT 18 ms vs 3.14 s, TBT
+6.6 vs 121 ms, avg score -1.8).  Shape: larger models win quality, lose
+latency by integer factors.
+"""
+
+import numpy as np
+
+from harness import judged, print_table, run_once
+from repro.llm.zoo import get_model_pair
+from repro.workload.datasets import SyntheticDataset
+
+
+def _measure_pair(pair: str, dataset_name: str, n: int = 300):
+    small, large = get_model_pair(pair)
+    dataset = SyntheticDataset(dataset_name, scale=0.001, seed=1)
+    requests = dataset.online_requests(n)
+    small_results = [small.generate(r) for r in requests]
+    large_results = [large.generate(r) for r in requests]
+    report = judged([r.quality for r in small_results],
+                    [r.quality for r in large_results], seed=1)
+    return {
+        "small_ttft": float(np.mean([r.ttft_s for r in small_results])),
+        "large_ttft": float(np.mean([r.ttft_s for r in large_results])),
+        "small_tbt": float(np.mean([r.tbt_s for r in small_results])),
+        "large_tbt": float(np.mean([r.tbt_s for r in large_results])),
+        "avg_score": report.avg_score,
+        "win_rate": report.win_rate,
+    }
+
+
+def test_fig01_quality_efficiency_tradeoff(benchmark):
+    def experiment():
+        return {
+            "gemini (conversation)": _measure_pair("gemini", "lmsys_chat"),
+            "qwen vs deepseek-r1": _measure_pair("qwen_deepseek", "lmsys_chat"),
+        }
+
+    results = run_once(benchmark, experiment)
+    rows = [
+        [name, m["small_ttft"], m["large_ttft"], m["small_tbt"] * 1000,
+         m["large_tbt"] * 1000, m["avg_score"], m["win_rate"] * 100]
+        for name, m in results.items()
+    ]
+    print_table(
+        "Fig. 1: quality-efficiency trade-off (small vs large)",
+        ["pair", "TTFT small (s)", "TTFT large (s)", "TBT small (ms)",
+         "TBT large (ms)", "avg score (small)", "win rate % (small)"],
+        rows,
+    )
+
+    gemini = results["gemini (conversation)"]
+    qwen = results["qwen vs deepseek-r1"]
+    # Shape: the large model wins on quality (negative avg score for small)...
+    assert gemini["avg_score"] < -0.1
+    assert qwen["avg_score"] < -0.3
+    # ...but costs markedly more latency (paper: 3x TBT for Gemini, ~18x for
+    # DeepSeek-R1; TTFT two orders of magnitude for Qwen vs R1).
+    assert gemini["large_tbt"] / gemini["small_tbt"] > 2.0
+    assert qwen["large_tbt"] / qwen["small_tbt"] > 10.0
+    assert qwen["large_ttft"] / qwen["small_ttft"] > 50.0

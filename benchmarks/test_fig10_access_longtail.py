@@ -1,0 +1,59 @@
+"""Fig. 10 — example access counts follow a long-tail distribution.
+
+Paper: on LMSys-Chat and MS MARCO, a small head of examples absorbs most
+repurposings (the CDF of per-example access counts rises steeply).  This is
+what makes cost-aware replay and small caches effective.
+"""
+
+import numpy as np
+
+from harness import make_service, print_table, run_once
+
+
+def _access_distribution(dataset_name: str, n_requests: int = 400,
+                         seed: int = 10):
+    service, dataset = make_service(dataset_name, pair="gemma", scale=0.001,
+                                    seed=seed)
+    for request in dataset.online_requests(n_requests):
+        service.serve(request, load=0.2)
+    counts = sorted(
+        (ex.access_count for ex in service.cache), reverse=True
+    )
+    return np.asarray(counts)
+
+
+def test_fig10_access_longtail(benchmark):
+    def experiment():
+        return {
+            "lmsys_chat": _access_distribution("lmsys_chat"),
+            "ms_marco": _access_distribution("ms_marco"),
+        }
+
+    results = run_once(benchmark, experiment)
+
+    rows = []
+    for name, counts in results.items():
+        total = counts.sum()
+        accessed = counts[counts > 0]
+        top10_share = counts[: max(1, len(counts) // 10)].sum() / max(1, total)
+        rows.append([
+            name, len(counts), int(total), len(accessed),
+            float(top10_share * 100), int(counts.max()) if len(counts) else 0,
+        ])
+    print_table(
+        "Fig. 10: example access-count distribution",
+        ["dataset", "examples", "total accesses", "ever accessed",
+         "top-10% share (%)", "max accesses"],
+        rows,
+    )
+
+    for name, counts in results.items():
+        total = counts.sum()
+        assert total > 0, name
+        # Shape: long tail — the top 10% of examples absorb several times
+        # their uniform share of accesses, and most examples are rarely or
+        # never used (uniform would give the head exactly 10%).
+        top10_share = counts[: max(1, len(counts) // 10)].sum() / total
+        assert top10_share > 0.4, name
+        median = float(np.median(counts))
+        assert median <= counts.max() / 4, name

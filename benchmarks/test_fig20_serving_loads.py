@@ -1,0 +1,96 @@
+"""Fig. 20 — request completion time across serving loads.
+
+Paper (Alpaca, QPS = 1 / 2 / 4): Gemma-2-2B + IC-Cache tracks plain 2B
+(11-35% lower P50, 14-31% higher P99 from decode-length shifts) and crushes
+27B: P50 75-83% lower, P99 69-71% lower.
+"""
+
+import numpy as np
+
+from harness import make_service, print_table, run_once
+from repro.llm.zoo import get_model
+from repro.serving.cluster import ClusterConfig, ClusterSimulator, ModelDeployment
+from repro.workload.trace import ArrivalTrace
+
+SMALL, LARGE = "gemma-2-2b", "gemma-2-27b"
+QPS_LEVELS = (1.0, 2.0, 4.0)
+DURATION_S = 240.0
+
+
+def _arrivals(dataset, qps, seed):
+    trace = ArrivalTrace(
+        bucket_seconds=30.0,
+        rates_per_second=np.full(int(DURATION_S / 30), qps),
+    )
+    times = trace.arrival_times(seed=seed)
+    return list(zip(times, dataset.online_requests(len(times))))
+
+
+def _simulate(policy: str, qps: float, seed: int = 20):
+    service, dataset = make_service("alpaca", pair="gemma", scale=0.01,
+                                    seed=seed)
+    if policy == "ic":
+        # The paper's "Gemma-2-2b + IC" row measures the IC-augmented small
+        # model itself (its latency tracks 2B, Fig. 18); pin the router so
+        # the row is not a 2B/27B mixture.
+        service.router_enabled = False
+        for request in dataset.online_requests(250):
+            service.serve(request, load=0.2)
+    arrivals = _arrivals(dataset, qps, seed)
+
+    def deployments(small_replicas, large_replicas):
+        return [
+            ModelDeployment(get_model(SMALL, seed=seed), replicas=small_replicas),
+            ModelDeployment(get_model(LARGE, seed=seed), replicas=large_replicas),
+        ]
+
+    sim = ClusterSimulator(ClusterConfig(
+        deployments=deployments(8, 1), gpu_budget=16,
+    ))
+    if policy == "ic":
+        report = sim.run(arrivals, service.cluster_router(),
+                         on_complete=service.on_complete)
+    elif policy == "small":
+        report = sim.run(arrivals, lambda req, s: (SMALL, []))
+    else:
+        report = sim.run(arrivals, lambda req, s: (LARGE, []))
+    summary = report.latency_summary()
+    return summary.p50, summary.p99
+
+
+def test_fig20_serving_loads(benchmark):
+    def experiment():
+        results = {}
+        for qps in QPS_LEVELS:
+            results[qps] = {
+                "Gemma-2-2b": _simulate("small", qps),
+                "Gemma-2-2b + IC": _simulate("ic", qps),
+                "Gemma-2-27b": _simulate("large", qps),
+            }
+        return results
+
+    results = run_once(benchmark, experiment)
+    rows = []
+    for qps, by_policy in results.items():
+        for name, (p50, p99) in by_policy.items():
+            rows.append([f"QPS={qps:g}", name, p50, p99])
+    print_table(
+        "Fig. 20: request completion time by load (Alpaca)",
+        ["load", "system", "P50 (s)", "P99 (s)"],
+        rows,
+    )
+
+    for qps, by_policy in results.items():
+        small_p50, small_p99 = by_policy["Gemma-2-2b"]
+        ic_p50, ic_p99 = by_policy["Gemma-2-2b + IC"]
+        large_p50, large_p99 = by_policy["Gemma-2-27b"]
+        # Shape: 2B+IC latency is in the 2B ballpark (well under 2x)...
+        assert ic_p50 < 2.0 * small_p50, qps
+        # ...and far below 27B (paper: P50 -75-83%, P99 -69-71%; queueing
+        # under load amplifies the gap further).
+        assert ic_p50 < 0.4 * large_p50, qps
+        assert ic_p99 < 0.5 * large_p99, qps
+    # Load hurts the 27B deployment much more than IC-Cache.
+    large_growth = results[4.0]["Gemma-2-27b"][1] / results[1.0]["Gemma-2-27b"][1]
+    ic_growth = results[4.0]["Gemma-2-2b + IC"][1] / results[1.0]["Gemma-2-2b + IC"][1]
+    assert large_growth > ic_growth

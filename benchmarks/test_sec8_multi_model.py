@@ -1,0 +1,78 @@
+"""Section 8 — more sweet spots with more than two models.
+
+"When multiple models are available, we can identify more sweet spots on the
+efficiency-quality curve ... the request router can select the most
+appropriate model" (instead of a binary small/large choice).  This bench
+routes across a three-tier Gemma fleet (2B / 9B / 27B) and checks that the
+router uses the mid tier for mid-difficulty traffic, yielding a cost-quality
+point the binary deployments cannot reach.
+"""
+
+import numpy as np
+
+from harness import judged, print_table, run_once
+from repro.core.config import ICCacheConfig, ManagerConfig
+from repro.core.service import ICCacheService
+from repro.llm.zoo import get_model
+from repro.workload.datasets import SyntheticDataset
+
+TIERS = ("gemma-2-2b", "gemma-2-9b", "gemma-2-27b")
+
+
+def _run_three_tier(seed: int = 47, n: int = 700):
+    models = {name: get_model(name, seed=seed) for name in TIERS}
+    service = ICCacheService(
+        ICCacheConfig(
+            small_model="gemma-2-2b", large_model="gemma-2-27b", seed=seed,
+            manager=ManagerConfig(sanitize=False),
+        ),
+        models=models,
+    )
+    dataset = SyntheticDataset("lmsys_chat", scale=0.001, seed=seed)
+    service.seed_cache(dataset.example_bank_requests()[:400])
+    requests = dataset.online_requests(n)
+    outcomes = [service.serve(r, load=0.3) for r in requests]
+    tail = outcomes[300:]
+    reference = [get_model("gemma-2-27b", seed=99).generate(o.request).quality
+                 for o in tail]
+    report = judged([o.result.quality for o in tail], reference, seed=seed)
+
+    shares = {name: 0 for name in TIERS}
+    cost = 0.0
+    for outcome in tail:
+        shares[outcome.choice.model_name] += 1
+        cost += outcome.result.cost
+    total = len(tail)
+    return {
+        "win": report.win_rate * 100,
+        "shares": {name: count / total for name, count in shares.items()},
+        "cost_per_req": cost / total,
+        "tail": tail,
+    }
+
+
+def test_sec8_multi_model_routing(benchmark):
+    result = run_once(benchmark, _run_three_tier)
+
+    print_table(
+        "Section 8: three-tier routing (Gemma 2B / 9B / 27B)",
+        ["metric", "value"],
+        [["win rate % vs 27B", result["win"]],
+         *[[f"share {name}", result["shares"][name]] for name in TIERS],
+         ["mean cost/request ($ per 1k tok units)", result["cost_per_req"]]],
+    )
+
+    shares = result["shares"]
+    # Shape: all three tiers carry traffic — the router found the mid-tier
+    # sweet spot instead of collapsing to a binary policy.
+    assert all(shares[name] > 0.02 for name in TIERS), shares
+    # Quality holds near parity with always-27B.
+    assert result["win"] > 42.0
+    # The router sends harder requests to bigger tiers on average.
+    tail = result["tail"]
+    mean_difficulty = {
+        name: np.mean([o.request.difficulty for o in tail
+                       if o.choice.model_name == name] or [np.nan])
+        for name in TIERS
+    }
+    assert mean_difficulty["gemma-2-2b"] < mean_difficulty["gemma-2-27b"]

@@ -1,0 +1,69 @@
+"""Table 2 — IC-Cache vs (and with) LongRAG on MS MARCO.
+
+Paper (Gemma-2-2B vs 27B): avg score / win rate:
+2B -0.427 / 41.5;  +RAG +0.005 / 52.6;  +IC +0.067 / 56.4;  +IC+RAG
++0.297 / 62.4.  Ordering: IC > RAG alone, IC+RAG best.
+"""
+
+import numpy as np
+
+from harness import (
+    best_examples_for,
+    build_topic_example_bank,
+    judged,
+    print_table,
+    run_once,
+)
+from repro.baselines.rag import LongRAGRetriever, build_document_store
+from repro.llm.zoo import get_model_pair
+from repro.workload.datasets import SyntheticDataset
+
+
+def test_table2_ic_vs_rag(benchmark):
+    def experiment():
+        seed, n = 22, 250
+        small, large = get_model_pair("gemma")
+        dataset = SyntheticDataset("ms_marco", scale=0.001, seed=seed)
+        bank = build_topic_example_bank(dataset, large, limit=400)
+        documents, index = build_document_store(dataset.topics, seed=seed)
+        retriever = LongRAGRetriever(documents, index, top_k=5)
+        requests = dataset.online_requests(n)
+        reference = [large.generate(r).quality for r in requests]
+
+        plain, rag, ic, ic_rag = [], [], [], []
+        for request in requests:
+            docs = retriever.retrieve(request.latent)
+            doc_boost = retriever.boost(request.latent, docs)
+            plain.append(small.generate(request).quality)
+            rag.append(float(np.clip(
+                small.generate(request).quality + doc_boost, 0, 1)))
+            ic_quality = small.generate(
+                request, best_examples_for(bank, request, k=5)).quality
+            ic.append(ic_quality)
+            ic_rag.append(float(np.clip(ic_quality + doc_boost, 0, 1)))
+
+        return {
+            "Gemma-2B": judged(plain, reference, seed=seed),
+            "Gemma-2B + RAG": judged(rag, reference, seed=seed),
+            "Gemma-2B + IC": judged(ic, reference, seed=seed),
+            "Gemma-2B + IC + RAG": judged(ic_rag, reference, seed=seed),
+        }
+
+    reports = run_once(benchmark, experiment)
+    print_table(
+        "Table 2: Gemma-2-2B variants vs Gemma-2-27B on MS MARCO",
+        ["variant", "avg score", "win rate %"],
+        [[name, r.avg_score, r.win_rate_pct] for name, r in reports.items()],
+    )
+
+    plain = reports["Gemma-2B"]
+    rag = reports["Gemma-2B + RAG"]
+    ic = reports["Gemma-2B + IC"]
+    both = reports["Gemma-2B + IC + RAG"]
+    # Shape: the paper's strict ordering on both metrics.
+    assert plain.avg_score < rag.avg_score < ic.avg_score < both.avg_score
+    assert plain.win_rate < rag.win_rate
+    assert rag.win_rate < ic.win_rate
+    assert ic.win_rate < both.win_rate
+    # IC+RAG pushes the small model decisively past parity (paper 62.4%).
+    assert both.win_rate > 0.55

@@ -1,0 +1,80 @@
+"""Table 4 (appendix A.5) — LLM judges agree with humans.
+
+Paper: on MT-Bench-style pairwise preferences, Gemini-family judges agree
+with human labels 66-73% of the time and with each other 74-81% — *higher*
+than human-human agreement (63%).  The reproduction simulates a pool of
+judges (autoraters with independent noise) and humans (Bradley-Terry raters
+with higher noise) over shared response pairs and computes the agreement
+matrix.
+"""
+
+import numpy as np
+
+from harness import print_table, run_once
+from repro.judge.autorater import Autorater
+from repro.utils.rng import make_rng
+from repro.workload.feedback import FeedbackSimulator
+
+JUDGES = ["judge-flash", "judge-pro", "judge-2.5"]
+HUMANS = ["human-A", "human-B"]
+
+
+def _verdicts(n_pairs: int = 400, seed: int = 45):
+    """Each rater's preferred side for a shared set of response pairs."""
+    rng = make_rng(seed)
+    quality_pairs = [
+        (float(rng.uniform(0.2, 0.9)), float(rng.uniform(0.2, 0.9)))
+        for _ in range(n_pairs)
+    ]
+    verdicts = {}
+    for i, name in enumerate(JUDGES):
+        rater = Autorater(name=name, seed=seed + i, samples_per_order=2)
+        verdicts[name] = [
+            0 if rater.compare(qa, qb) >= 0 else 1 for qa, qb in quality_pairs
+        ]
+    for i, name in enumerate(HUMANS):
+        # Humans are noisier pairwise raters; preference_noise=0.2 puts
+        # inter-human agreement at ~63%, exactly the paper's Table 4 value.
+        human = FeedbackSimulator(preference_noise=0.2, seed=seed + 10 + i)
+        verdicts[name] = [
+            human.preference(qa, qb).preferred for qa, qb in quality_pairs
+        ]
+    return verdicts
+
+
+def _agreement(a: list[int], b: list[int]) -> float:
+    return float(np.mean([x == y for x, y in zip(a, b)]))
+
+
+def test_table4_judge_human_agreement(benchmark):
+    verdicts = run_once(benchmark, _verdicts)
+
+    raters = JUDGES + HUMANS
+    rows = []
+    matrix = {}
+    for i, a in enumerate(raters):
+        row = [a]
+        for b in raters:
+            if a == b:
+                row.append("-")
+            else:
+                matrix[(a, b)] = _agreement(verdicts[a], verdicts[b])
+                row.append(f"{matrix[(a, b)] * 100:.0f}%")
+        rows.append(row)
+    print_table("Table 4: preference agreement matrix",
+                ["rater", *raters], rows)
+
+    judge_judge = np.mean([
+        matrix[(a, b)] for a in JUDGES for b in JUDGES if a != b
+    ])
+    judge_human = np.mean([
+        matrix[(j, h)] for j in JUDGES for h in HUMANS
+    ])
+    human_human = matrix[("human-A", "human-B")]
+
+    # Shape (paper Table 4): judges agree with each other most, agree with
+    # humans more than humans agree among themselves, and all values are
+    # far above the 50% coin-flip floor.
+    assert judge_judge > judge_human > human_human
+    assert human_human > 0.55
+    assert judge_judge > 0.72

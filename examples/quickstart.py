@@ -1,0 +1,56 @@
+"""Quickstart: serve requests through IC-Cache with a few lines of code.
+
+Mirrors the paper's Fig. 6 integration example: create a client, generate,
+register new pairs in the cache, stop.  Run:
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import ICCacheClient, ICCacheConfig
+from repro.workload import SyntheticDataset
+
+
+def main() -> None:
+    # A scaled-down MS MARCO-like workload (Table 1 profile).
+    dataset = SyntheticDataset("ms_marco", scale=0.001, seed=7)
+
+    # Default config: Gemma-2-2B as the offload target, Gemma-2-27B as the
+    # expensive reference model.
+    client = ICCacheClient(ICCacheConfig(seed=7))
+
+    # Seed the example cache from historical requests (responses produced by
+    # the large model, as in the paper's example-pool initialization).
+    seeded = client.service.seed_cache(dataset.example_bank_requests()[:400])
+    print(f"seeded example cache with {seeded} request-response pairs")
+
+    # Serve a stream of fresh requests.  `load` is the current serving load
+    # in [0, ~); the router biases toward cheap models when it exceeds the
+    # configured threshold.
+    requests = dataset.online_requests(600)
+    outcomes = client.generate(requests, load=0.3)
+
+    stats = client.service.stats
+    offloaded = [o for o in outcomes if o.offloaded]
+    late_offload = np.mean([o.offloaded for o in outcomes[-100:]])
+    print(f"served {stats.served} requests")
+    print(f"offload ratio: {stats.offload_ratio:.2f} overall, "
+          f"{late_offload:.2f} over the last 100 (the bandit ramps up)")
+    print(f"mean response quality: {np.mean(stats.qualities):.3f}")
+    print(f"mean examples per offloaded request: "
+          f"{np.mean([o.result.n_examples for o in offloaded]):.1f}")
+    print(f"router feedback solicitations: "
+          f"{client.service.router.feedback_solicitations}")
+    print(f"example cache size: {len(client.service.cache)} entries, "
+          f"{client.service.cache.total_bytes / 1024:.0f} KiB")
+
+    # Explicit cache registration (deduplicated automatically).
+    added = client.update_cache(requests[:10], outcomes[:10])
+    print(f"explicitly re-registered 10 pairs -> {added} admitted (rest deduped)")
+
+    client.stop()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""IC-Cache reproduction: efficient LLM serving via in-context caching.
+
+A from-scratch Python implementation of *IC-Cache: Efficient Large Language
+Model Serving via In-context Caching* (SOSP 2025), including every substrate
+its evaluation depends on (simulated LLM fleet, embedding + vector search,
+synthetic workloads, a discrete-event serving cluster, LLM-as-a-judge
+evaluation, and the RouteLLM / semantic-caching / RAG / SFT baselines).
+
+Quickstart::
+
+    from repro import ICCacheClient, ICCacheConfig
+    from repro.workload import SyntheticDataset
+
+    dataset = SyntheticDataset("ms_marco", scale=0.001)
+    client = ICCacheClient(ICCacheConfig())
+    client.service.seed_cache(dataset.example_bank_requests())
+    outcomes = client.generate(dataset.online_requests(100))
+    client.stop()
+"""
+
+from repro.core import (
+    ICCacheClient,
+    ICCacheConfig,
+    ICCacheService,
+    ManagerConfig,
+    RouterConfig,
+    SelectorConfig,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ICCacheClient",
+    "ICCacheConfig",
+    "ICCacheService",
+    "ManagerConfig",
+    "RouterConfig",
+    "SelectorConfig",
+    "__version__",
+]

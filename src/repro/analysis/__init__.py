@@ -1,0 +1,25 @@
+"""Statistics and optimization helpers shared across the system.
+
+``stats`` provides the streaming aggregates the paper reports (percentiles,
+CDFs, Pearson correlation, exponential moving averages); ``knapsack`` solves
+the cache-eviction problem of section 4.3.
+"""
+
+from repro.analysis.stats import (
+    EMA,
+    cdf_points,
+    pearson_correlation,
+    percentile,
+    summarize_latencies,
+)
+from repro.analysis.knapsack import KnapsackItem, solve_knapsack
+
+__all__ = [
+    "EMA",
+    "cdf_points",
+    "pearson_correlation",
+    "percentile",
+    "summarize_latencies",
+    "KnapsackItem",
+    "solve_knapsack",
+]

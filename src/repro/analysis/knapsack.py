@@ -1,0 +1,107 @@
+"""0/1 knapsack solvers for example-cache eviction (paper section 4.3).
+
+The Example Manager treats each cached example as an item whose *weight* is
+its plaintext size and whose *value* is the efficiency gain it enabled
+(successful offloadings, EMA-decayed).  Retention under a byte budget is then
+a classic 0/1 knapsack.
+
+Two solvers are provided:
+
+* ``solve_knapsack(..., exact=True)`` — dynamic programming over scaled
+  weights; optimal, used for small instances and as the test oracle.
+* ``solve_knapsack(..., exact=False)`` — greedy by value density with the
+  standard "best single item" fix-up, giving the 1/2-approximation bound.
+  This is what the manager runs periodically in the background (section 5
+  notes the solver must not interfere with online serving).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class KnapsackItem:
+    """One candidate for retention: ``key`` identifies the cache entry."""
+
+    key: object
+    weight: int
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ValueError(f"negative weight for {self.key}: {self.weight}")
+        if self.value < 0:
+            raise ValueError(f"negative value for {self.key}: {self.value}")
+
+
+def solve_knapsack(
+    items: list[KnapsackItem], capacity: int, exact: bool = False
+) -> set[object]:
+    """Return the set of item keys to *keep* under the weight budget.
+
+    ``exact`` selects the DP solver (optimal, O(n * capacity)); otherwise the
+    greedy density heuristic runs in O(n log n).  Zero-weight items are always
+    kept — they consume no budget.
+    """
+    if capacity < 0:
+        raise ValueError(f"capacity must be non-negative, got {capacity}")
+    keys = [item.key for item in items]
+    if len(set(keys)) != len(keys):
+        raise ValueError("knapsack items must have unique keys")
+
+    free = {item.key for item in items if item.weight == 0}
+    weighted = [item for item in items if item.weight > 0]
+    if not weighted or capacity == 0:
+        return free
+
+    if exact:
+        chosen = _solve_dp(weighted, capacity)
+    else:
+        chosen = _solve_greedy(weighted, capacity)
+    return free | chosen
+
+
+def _solve_greedy(items: list[KnapsackItem], capacity: int) -> set[object]:
+    """Greedy by value density, compared against the best single item."""
+    ranked = sorted(items, key=lambda it: (it.value / it.weight, it.value), reverse=True)
+    chosen: set[object] = set()
+    used = 0
+    greedy_value = 0.0
+    for item in ranked:
+        if used + item.weight <= capacity:
+            chosen.add(item.key)
+            used += item.weight
+            greedy_value += item.value
+
+    # Classic fix-up: a single high-value item can beat the greedy prefix,
+    # which restores the 1/2-approximation guarantee.
+    fitting = [it for it in items if it.weight <= capacity]
+    if fitting:
+        best_single = max(fitting, key=lambda it: it.value)
+        if best_single.value > greedy_value:
+            return {best_single.key}
+    return chosen
+
+
+def _solve_dp(items: list[KnapsackItem], capacity: int) -> set[object]:
+    """Exact 0/1 knapsack via dynamic programming with parent pointers."""
+    n = len(items)
+    # best[w] = max value using a prefix of items at total weight <= w
+    best = [0.0] * (capacity + 1)
+    take = [[False] * (capacity + 1) for _ in range(n)]
+    for i, item in enumerate(items):
+        # iterate weights downwards so each item is used at most once
+        for w in range(capacity, item.weight - 1, -1):
+            candidate = best[w - item.weight] + item.value
+            if candidate > best[w]:
+                best[w] = candidate
+                take[i][w] = True
+
+    chosen: set[object] = set()
+    w = capacity
+    for i in range(n - 1, -1, -1):
+        if take[i][w]:
+            chosen.add(items[i].key)
+            w -= items[i].weight
+    return chosen

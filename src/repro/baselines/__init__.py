@@ -1,0 +1,30 @@
+"""The baselines of section 6.1 and the comparison systems of section 6.4.
+
+* :class:`RouteLLMRouter` — RouteLLM: a binary difficulty classifier that
+  picks small vs large per request, oblivious to serving load.
+* :class:`SemanticCache` — GPTCache/Databricks-style semantic caching:
+  return the cached response verbatim when a sufficiently similar request
+  was seen before.
+* :class:`LongRAGRetriever` — LongRAG: retrieve top-k external documents and
+  append them to the prompt.
+* :class:`SFTModel` — supervised fine-tuning of the small model on large-model
+  outputs: capability boost in-domain, regression out-of-domain (Table 3).
+* :class:`NaiveCachePolicy` — random example retention, the Fig. 19 baseline.
+"""
+
+from repro.baselines.routellm import RouteLLMRouter
+from repro.baselines.semantic_cache import CacheLookup, SemanticCache
+from repro.baselines.rag import Document, LongRAGRetriever, build_document_store
+from repro.baselines.sft import SFTModel
+from repro.baselines.naive_cache import NaiveCachePolicy
+
+__all__ = [
+    "RouteLLMRouter",
+    "CacheLookup",
+    "SemanticCache",
+    "Document",
+    "LongRAGRetriever",
+    "build_document_store",
+    "SFTModel",
+    "NaiveCachePolicy",
+]

@@ -1,0 +1,28 @@
+"""Naive cache-retention baseline (Fig. 19): keep a random subset.
+
+The paper's cache-size ablation compares IC-Cache's utility-aware retention
+(knapsack over decayed offload gains, section 4.3) against randomly retaining
+the same fraction of examples.
+"""
+
+from __future__ import annotations
+
+from repro.core.example import Example
+from repro.utils.rng import make_rng, stable_hash
+
+
+class NaiveCachePolicy:
+    """Uniform-random retention at a target fraction."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = make_rng(stable_hash("naive-cache", seed))
+
+    def retain(self, examples: list[Example], fraction: float) -> list[Example]:
+        """A random ``fraction`` of ``examples`` (at least one if non-empty)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        if not examples or fraction == 0.0:
+            return []
+        n_keep = max(1, int(round(len(examples) * fraction)))
+        indices = self._rng.choice(len(examples), size=n_keep, replace=False)
+        return [examples[i] for i in sorted(indices)]

@@ -1,0 +1,68 @@
+"""Example cache: storage plus clustered similarity retrieval.
+
+Stage 1 of the selector searches this cache through an IVF index with
+K = sqrt(N) clusters (section 4.1).  The cache itself is model-agnostic plain
+text (section 4.3: "plaintext caching offers low memory consumption ... and
+facilitates broader reuse across different models").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.example import Example
+from repro.vectorstore.ivf import IVFIndex
+
+
+class ExampleCache:
+    """Keyed example store with approximate nearest-neighbour retrieval."""
+
+    def __init__(self, dim: int, nprobe: int = 2, seed: int = 0) -> None:
+        self._examples: dict[str, Example] = {}
+        self._index = IVFIndex(dim=dim, nprobe=nprobe, seed=seed)
+
+    def __len__(self) -> int:
+        return len(self._examples)
+
+    def __contains__(self, example_id: str) -> bool:
+        return example_id in self._examples
+
+    def __iter__(self):
+        return iter(self._examples.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(ex.plaintext_bytes for ex in self._examples.values())
+
+    def add(self, example: Example) -> None:
+        if example.example_id in self._examples:
+            raise KeyError(f"duplicate example id {example.example_id!r}")
+        self._examples[example.example_id] = example
+        self._index.add(example.example_id, example.embedding)
+
+    def remove(self, example_id: str) -> Example:
+        example = self._examples.pop(example_id, None)
+        if example is None:
+            raise KeyError(example_id)
+        self._index.remove(example_id)
+        return example
+
+    def get(self, example_id: str) -> Example:
+        return self._examples[example_id]
+
+    def search(self, embedding: np.ndarray, k: int) -> list[tuple[Example, float]]:
+        """Top-k (example, relevance) pairs for a request embedding."""
+        hits = self._index.search(embedding, k)
+        return [(self._examples[hit.key], hit.score) for hit in hits]
+
+    def nearest_similarity(self, embedding: np.ndarray) -> float:
+        """Similarity of the closest cached example (0.0 on an empty cache)."""
+        hits = self._index.search(embedding, 1)
+        return hits[0].score if hits else 0.0
+
+    def matching_cost(self) -> float:
+        """Expected comparisons per lookup (the K + N/K quantity of 4.1)."""
+        return self._index.matching_cost()
+
+    def examples(self) -> list[Example]:
+        return list(self._examples.values())

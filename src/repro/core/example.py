@@ -1,0 +1,71 @@
+"""The cached example record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.stats import EMA
+from repro.llm.icl import ExampleView
+from repro.utils.tokens import count_tokens
+from repro.workload.request import Request
+
+
+@dataclass
+class Example:
+    """One historical request-response pair stored in the example cache.
+
+    Bookkeeping fields drive the Example Manager (section 4.3):
+
+    * ``gain_ema`` accumulates the replay-potential G(e) each time the example
+      is repurposed;
+    * ``offload_gain`` counts successful offloadings (the knapsack *value*,
+      decayed hourly);
+    * ``feedback_quality`` tracks observed response quality of requests this
+      example augmented (the ``normalized_response_quality`` term of G(e)).
+    """
+
+    example_id: str
+    request: Request
+    response_text: str
+    embedding: np.ndarray        # retrieval embedding of the request
+    quality: float               # latent quality of the stored response
+    source_model: str
+    source_cost: float           # normalized cost of the source model
+    created_at: float = 0.0
+    access_count: int = 0
+    replay_count: int = 0
+    gain_ema: EMA = field(default_factory=lambda: EMA(alpha=0.2))
+    offload_gain: EMA = field(default_factory=lambda: EMA(alpha=0.3))
+    feedback_quality: EMA = field(default_factory=lambda: EMA(alpha=0.3))
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.quality <= 1.0:
+            raise ValueError(
+                f"example {self.example_id}: quality must be in [0, 1], "
+                f"got {self.quality}"
+            )
+        self.embedding = np.asarray(self.embedding, dtype=float)
+
+    @property
+    def tokens(self) -> int:
+        """Prompt-length contribution when prepended as an in-context example."""
+        return count_tokens(self.request.text) + count_tokens(self.response_text)
+
+    @property
+    def plaintext_bytes(self) -> int:
+        """Cache weight: the example is stored in plaintext (section 4.3)."""
+        return (
+            len(self.request.text.encode("utf-8"))
+            + len(self.response_text.encode("utf-8"))
+        )
+
+    def view(self) -> ExampleView:
+        """The minimal view handed to the LLM's ICL model."""
+        return ExampleView(
+            latent=self.request.latent, quality=self.quality, tokens=self.tokens
+        )
+
+    def record_access(self) -> None:
+        self.access_count += 1

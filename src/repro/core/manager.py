@@ -1,0 +1,139 @@
+"""The Example Manager (section 4.3): admission, bookkeeping, eviction.
+
+* **Admission**: new request-response pairs are sanitized (PII scrub),
+  near-duplicates are rejected, and the pair is stored in plaintext.
+* **Bookkeeping**: every repurposing updates the example's G(e) gain EMA and
+  its offload-success value; a 0.9-per-hour decay discounts stale usage.
+* **Eviction**: under a byte budget, retention is the 0/1 knapsack of
+  section 4.3 — weight = plaintext size, value = decayed offload gain.
+* **Replay**: delegated to :class:`repro.core.replay.ReplayEngine`,
+  typically invoked off-peak by the service.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.analysis.knapsack import KnapsackItem, solve_knapsack
+from repro.core.cache import ExampleCache
+from repro.core.config import ManagerConfig
+from repro.core.example import Example
+from repro.core.replay import ReplayEngine, replay_gain
+from repro.llm.model import GenerationResult
+from repro.privacy.sanitizer import sanitize_text
+from repro.utils.clock import SimClock
+from repro.workload.request import Request
+
+
+class ExampleManager:
+    """Curates the example cache over time."""
+
+    def __init__(self, cache: ExampleCache, config: ManagerConfig | None = None,
+                 clock: SimClock | None = None,
+                 replay_engine: ReplayEngine | None = None) -> None:
+        self.cache = cache
+        self.config = config or ManagerConfig()
+        self.clock = clock or SimClock()
+        self.replay_engine = replay_engine
+        self._last_decay = self.clock.now
+        self._id_counter = itertools.count()
+        self.admitted = 0
+        self.rejected_duplicates = 0
+        self.evictions = 0
+
+    # -- admission ----------------------------------------------------------
+
+    def admit(self, request: Request, result: GenerationResult,
+              embedding, source_cost: float) -> Example | None:
+        """Try to add a served request-response pair to the cache.
+
+        Returns the new example, or ``None`` when rejected (near-duplicate).
+        ``source_cost`` is the normalized cost of the model that produced the
+        response; it feeds both proxy features and the G(e) formula.
+        """
+        if self.cache.nearest_similarity(embedding) >= self.config.admission_dedupe_sim:
+            self.rejected_duplicates += 1
+            return None
+        response_text = result.text
+        if self.config.sanitize:
+            response_text = sanitize_text(response_text)
+            request.text = sanitize_text(request.text)
+        example = Example(
+            example_id=f"ex-{next(self._id_counter)}-{request.request_id}",
+            request=request,
+            response_text=response_text,
+            embedding=embedding,
+            quality=result.quality,
+            source_model=result.model_name,
+            source_cost=source_cost,
+            created_at=self.clock.now,
+        )
+        self.cache.add(example)
+        self.admitted += 1
+        self.enforce_capacity()
+        return example
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def record_use(self, example: Example, response_quality: float,
+                   model_cost: float, offloaded: bool) -> None:
+        """Update an example's stats after it augmented a served request."""
+        example.gain_ema.update(replay_gain(response_quality, model_cost))
+        example.feedback_quality.update(response_quality)
+        example.offload_gain.update(1.0 if offloaded else 0.0)
+        self._maybe_decay()
+
+    def _maybe_decay(self) -> None:
+        """Apply the hourly 0.9 decay to every example's gain statistics."""
+        elapsed = self.clock.now - self._last_decay
+        periods = elapsed / self.config.decay_period_s
+        if periods < 1.0:
+            return
+        whole = int(periods)
+        for example in self.cache:
+            example.offload_gain.decay(self.config.decay_factor, whole)
+            example.gain_ema.decay(self.config.decay_factor, whole)
+        self._last_decay += whole * self.config.decay_period_s
+
+    # -- eviction ----------------------------------------------------------
+
+    def enforce_capacity(self) -> int:
+        """Evict down to the byte budget via the retention knapsack.
+
+        Returns the number of evicted examples.  No-op when the cache is
+        within budget or the budget is unbounded.
+        """
+        capacity = self.config.capacity_bytes
+        if capacity is None or self.cache.total_bytes <= capacity:
+            return 0
+        items = [
+            KnapsackItem(
+                key=example.example_id,
+                weight=example.plaintext_bytes,
+                # Value: decayed offload successes, with access count as a
+                # small tiebreaker and a floor so fresh examples are not
+                # instantly discarded before they can prove themselves.
+                value=example.offload_gain.value * (1 + example.access_count)
+                + 1e-3,
+            )
+            for example in self.cache
+        ]
+        keep = solve_knapsack(
+            items, capacity, exact=len(items) <= self.config.knapsack_exact_below
+        )
+        evicted = 0
+        for item in items:
+            if item.key not in keep:
+                self.cache.remove(item.key)
+                evicted += 1
+        self.evictions += evicted
+        return evicted
+
+    # -- replay ----------------------------------------------------------
+
+    def run_replay(self, expected_reuse: float = 20.0):
+        """Run one off-peak replay pass (requires a configured engine)."""
+        if self.replay_engine is None:
+            raise RuntimeError("no replay engine configured on this manager")
+        return self.replay_engine.run(self.cache.examples(),
+                                      expected_reuse=expected_reuse)

@@ -1,0 +1,138 @@
+"""The two-stage Example Selector (section 4.1, Algorithm 1 lines 7-13).
+
+Stage 1 narrows the pool by relevance on the clustered index; stage 2 scores
+each candidate with the helpfulness proxy.  Combination selection then
+applies a *dynamic utility threshold* (adapted online from sampled requests),
+a diversity penalty so near-duplicate examples don't crowd the prompt, and a
+context-token budget.  Selected examples are ordered ascending by utility so
+the strongest example sits closest to the question (the ordering effect the
+ICL literature reports).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cache import ExampleCache
+from repro.core.config import SelectorConfig
+from repro.core.example import Example
+from repro.core.proxy import HelpfulnessProxy
+from repro.embedding.similarity import cosine_similarity
+
+
+@dataclass
+class ScoredExample:
+    """One selected example with its selection-time scores."""
+
+    example: Example
+    relevance: float
+    utility: float
+
+
+class ExampleSelector:
+    """Selects an example combination for each request."""
+
+    def __init__(self, cache: ExampleCache, proxy: HelpfulnessProxy,
+                 config: SelectorConfig | None = None) -> None:
+        self.cache = cache
+        self.proxy = proxy
+        self.config = config or SelectorConfig()
+        self.utility_threshold = self.config.utility_threshold
+        self._requests_seen = 0
+        # Rolling sample of (utility, tokens) pairs used by threshold
+        # adaptation; bounded so memory stays constant.
+        self._recent_scored: list[tuple[float, int]] = []
+
+    def select(self, request_embedding: np.ndarray) -> list[ScoredExample]:
+        """The example combination for a request (possibly empty)."""
+        self._requests_seen += 1
+        if self._requests_seen % self.config.adapt_every == 0:
+            self._adapt_threshold()
+
+        candidates = self._stage1(request_embedding)
+        scored = self._stage2(request_embedding, candidates)
+        return self._combine(scored)
+
+    # -- stage 1: relevance pre-selection --------------------------------
+
+    def _stage1(self, request_embedding: np.ndarray) -> list[tuple[Example, float]]:
+        return self.cache.search(request_embedding, self.config.pre_k)
+
+    # -- stage 2: proxy helpfulness estimation ---------------------------
+
+    def _stage2(self, request_embedding: np.ndarray,
+                candidates: list[tuple[Example, float]]) -> list[ScoredExample]:
+        scored = []
+        for example, relevance in candidates:
+            utility = self.proxy.predict(request_embedding, example)
+            scored.append(ScoredExample(example, relevance, utility))
+            self._recent_scored.append((utility, example.tokens))
+        # Size the rolling window in whole queries (pre_k candidates each) so
+        # it always spans several requests' full candidate lists — trimming
+        # mid-query would bias the sample toward low-relevance tails.
+        window = 10 * self.config.pre_k
+        if len(self._recent_scored) > 2 * window:
+            self._recent_scored = self._recent_scored[-window:]
+        return scored
+
+    # -- combination selection --------------------------------------------
+
+    def _combine(self, scored: list[ScoredExample]) -> list[ScoredExample]:
+        viable = [s for s in scored if s.utility >= self.utility_threshold]
+        viable.sort(key=lambda s: s.utility, reverse=True)
+
+        chosen: list[ScoredExample] = []
+        budget = self.config.context_budget_tokens
+        for candidate in viable:
+            if len(chosen) >= self.config.max_examples:
+                break
+            if candidate.example.tokens > budget:
+                continue
+            # Diversity: discount utility by similarity to already-chosen
+            # examples; a redundant near-duplicate adds tokens, not signal.
+            redundancy = max(
+                (cosine_similarity(candidate.example.embedding, c.example.embedding)
+                 for c in chosen),
+                default=0.0,
+            )
+            effective = candidate.utility - self.config.diversity_weight * max(
+                0.0, redundancy - 0.9
+            )
+            if effective < self.utility_threshold:
+                continue
+            chosen.append(candidate)
+            budget -= candidate.example.tokens
+
+        for selection in chosen:
+            selection.example.record_access()
+        # Ascending utility: strongest example ends up adjacent to the query.
+        chosen.sort(key=lambda s: s.utility)
+        return chosen
+
+    # -- dynamic threshold adaptation -------------------------------------
+
+    def _adapt_threshold(self) -> None:
+        """Pick the grid threshold maximizing net utility on recent samples.
+
+        Net utility of admitting an example = its estimated helpfulness minus
+        the token cost of carrying it in the prompt (section 4.1's "the number
+        of selected examples is both query- and example-dependent").
+        """
+        if not self._recent_scored:
+            return
+        best_threshold = self.utility_threshold
+        best_net = float("-inf")
+        # Evaluate high thresholds first so ties resolve toward admitting
+        # fewer examples (same net utility at lower prompt cost).
+        for threshold in sorted(self.config.threshold_grid, reverse=True):
+            net = sum(
+                utility - self.config.token_cost_weight * tokens
+                for utility, tokens in self._recent_scored
+                if utility >= threshold
+            )
+            if net > best_net:
+                best_net = net
+                best_threshold = threshold
+        self.utility_threshold = best_threshold

@@ -1,0 +1,332 @@
+"""The end-to-end IC-Cache service (Fig. 5, Algorithm 1).
+
+``serve`` implements the full ServeRequests flow inline (retrieve examples ->
+route -> generate -> manage), including the learning loops: sampled thumbs
+feedback trains the router, solicited preference comparisons train it on
+uncertain decisions, and sampled helpfulness observations train the proxy.
+
+For cluster experiments the service also plugs into
+:class:`repro.serving.ClusterSimulator`: :meth:`cluster_router` makes routing
+decisions with live load, and :meth:`on_complete` ingests feedback as
+requests finish (so learning sees serving delay, as in a real deployment).
+
+Fault tolerance (section 5): if the selector or router raises, the request
+is bypassed directly to the large model so service continues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cache import ExampleCache
+from repro.core.config import ICCacheConfig
+from repro.core.example import Example
+from repro.core.manager import ExampleManager
+from repro.core.proxy import HelpfulnessProxy
+from repro.core.replay import ReplayEngine
+from repro.core.router import BanditRouter, RouterArm, RoutingChoice, routing_features
+from repro.core.selector import ExampleSelector, ScoredExample
+from repro.embedding.embedder import LatentEmbedder
+from repro.llm.icl import example_utility
+from repro.llm.model import GenerationResult, SimulatedLLM
+from repro.llm.zoo import get_model
+from repro.serving.records import ServedRequest
+from repro.utils.clock import SimClock
+from repro.utils.rng import make_rng, stable_hash
+from repro.workload.feedback import FeedbackSimulator
+from repro.workload.request import Request
+
+
+@dataclass
+class ServeOutcome:
+    """Everything the caller learns about one served request."""
+
+    request: Request
+    result: GenerationResult
+    choice: RoutingChoice
+    examples: list[ScoredExample]
+    admitted_example: Example | None = None
+    bypassed: bool = False
+
+    @property
+    def offloaded(self) -> bool:
+        return bool(self.choice.metadata.get("offloaded", False))
+
+
+@dataclass
+class ServiceStats:
+    """Running counters the benchmarks read."""
+
+    served: int = 0
+    offloaded: int = 0
+    bypasses: int = 0
+    router_updates: int = 0
+    proxy_updates: int = 0
+    qualities: list[float] = field(default_factory=list)
+
+    @property
+    def offload_ratio(self) -> float:
+        return self.offloaded / self.served if self.served else 0.0
+
+
+class ICCacheService:
+    """Wires the Example Selector, Request Router, and Example Manager."""
+
+    def __init__(self, config: ICCacheConfig | None = None,
+                 models: dict[str, SimulatedLLM] | None = None,
+                 clock: SimClock | None = None,
+                 selector_enabled: bool = True,
+                 router_enabled: bool = True) -> None:
+        self.config = config or ICCacheConfig()
+        self.clock = clock or SimClock()
+        seed = self.config.seed
+
+        if models is None:
+            small = get_model(self.config.small_model, seed=seed)
+            large = get_model(self.config.large_model, seed=seed)
+            models = {small.name: small, large.name: large}
+        self.models = models
+        self.small_name = self.config.small_model
+        self.large_name = self.config.large_model
+        for name in (self.small_name, self.large_name):
+            if name not in self.models:
+                raise ValueError(f"model {name!r} missing from models dict")
+
+        self.embedder = LatentEmbedder(
+            dim=self.config.embedding_dim, noise_scale=self.config.embedder_noise
+        )
+        self.cache = ExampleCache(dim=self.config.embedding_dim, seed=seed)
+        self.proxy = HelpfulnessProxy()
+        self.selector = ExampleSelector(self.cache, self.proxy, self.config.selector)
+        self.selector_enabled = selector_enabled
+        self.router_enabled = router_enabled
+
+        costs = {name: m.spec.cost_per_1k_tokens for name, m in self.models.items()}
+        max_cost = max(costs.values())
+        self.arm_costs = {name: cost / max_cost for name, cost in costs.items()}
+        self.router = BanditRouter(
+            arms=[RouterArm(name, self.arm_costs[name]) for name in self.models],
+            config=self.config.router,
+            seed=seed,
+        )
+
+        self.manager = ExampleManager(
+            self.cache,
+            config=self.config.manager,
+            clock=self.clock,
+            replay_engine=ReplayEngine(self.models[self.large_name],
+                                       self.config.manager),
+        )
+        self.feedback = FeedbackSimulator(
+            rating_noise=self.config.feedback_noise,
+            seed=stable_hash("service-feedback", seed),
+        )
+        self.stats = ServiceStats()
+        self._rng = make_rng(stable_hash("service", seed))
+        self._pending: dict[str, tuple[RoutingChoice, list[ScoredExample]]] = {}
+
+    # -- cache seeding -----------------------------------------------------
+
+    def seed_cache(self, requests: list[Request],
+                   source_model: str | None = None) -> int:
+        """Populate the example bank from historical requests.
+
+        Responses come from the (large) source model, matching the paper's
+        example-pool initialization (appendix A.4).  Returns the number of
+        admitted examples.
+        """
+        source_name = source_model or self.large_name
+        model = self.models[source_name]
+        admitted = 0
+        for request in requests:
+            result = model.generate(request)
+            embedding = self.embedder.embed(request.text, request.latent)
+            example = self.manager.admit(
+                request, result, embedding, self.arm_costs[source_name]
+            )
+            if example is not None:
+                admitted += 1
+        return admitted
+
+    # -- the inline serving path (Algorithm 1) ------------------------------
+
+    def serve(self, request: Request, load: float | None = None) -> ServeOutcome:
+        """Serve one request end-to-end, including learning and admission."""
+        embedding = self.embedder.embed(request.text, request.latent)
+
+        bypassed = False
+        try:
+            examples = self._retrieve(embedding)
+            choice = self._route(request, examples, load)
+        except Exception:
+            # Fault-tolerance bypass (section 5): selector/router failure
+            # routes the request straight to the large model.
+            examples = []
+            choice = self._bypass_choice(request)
+            bypassed = True
+            self.stats.bypasses += 1
+
+        model = self.models[choice.model_name]
+        offloaded = choice.model_name != self.large_name
+        choice.metadata["offloaded"] = offloaded
+        # Examples are prepended only when offloading (Algorithm 1); the
+        # outcome still carries the selected set so learning and shadow
+        # evaluation can reason about the counterfactual.
+        views = [s.example.view() for s in examples] if offloaded else []
+        result = model.generate(request, views)
+
+        outcome = ServeOutcome(
+            request=request, result=result, choice=choice,
+            examples=examples, bypassed=bypassed,
+        )
+        self._learn(outcome, embedding)
+        outcome.admitted_example = self.manager.admit(
+            request, result, embedding, self.arm_costs[choice.model_name]
+        )
+        self._record_stats(outcome)
+        return outcome
+
+    # -- the cluster-simulator path -----------------------------------------
+
+    def cluster_router(self):
+        """A RouterFn for :class:`repro.serving.ClusterSimulator`."""
+
+        def route(request: Request, sim) -> tuple[str, list]:
+            embedding = self.embedder.embed(request.text, request.latent)
+            try:
+                examples = self._retrieve(embedding)
+                choice = self._route(request, examples, sim.total_load())
+            except Exception:
+                examples = []
+                choice = self._bypass_choice(request)
+                self.stats.bypasses += 1
+            offloaded = choice.model_name != self.large_name
+            choice.metadata["offloaded"] = offloaded
+            self._pending[request.request_id] = (choice, examples, embedding)
+            views = [s.example.view() for s in examples] if offloaded else []
+            return choice.model_name, views
+
+        return route
+
+    def on_complete(self, request: Request, record: ServedRequest) -> None:
+        """Completion callback for the cluster simulator: learn + admit."""
+        pending = self._pending.pop(request.request_id, None)
+        if pending is None:
+            return
+        choice, examples, embedding = pending
+        self.clock.advance_to(record.finish_s)
+        result = GenerationResult(
+            model_name=record.model_name,
+            quality=record.quality,
+            prompt_tokens=record.prompt_tokens,
+            output_tokens=record.output_tokens,
+            ttft_s=record.ttft_s,
+            decode_s=record.finish_s - record.start_s - record.ttft_s,
+            icl_boost=0.0,
+            n_examples=record.n_examples,
+            cost=record.cost,
+            text=f"[{record.model_name}] response to {request.request_id}: "
+                 + request.text[:120],
+        )
+        outcome = ServeOutcome(
+            request=request, result=result, choice=choice, examples=examples,
+        )
+        self._learn(outcome, embedding)
+        self.manager.admit(request, result, embedding,
+                           self.arm_costs[choice.model_name])
+        self._record_stats(outcome)
+
+    # -- internals ------------------------------------------------------------
+
+    def _retrieve(self, embedding: np.ndarray) -> list[ScoredExample]:
+        if not self.selector_enabled:
+            return []
+        return self.selector.select(embedding)
+
+    def _route(self, request: Request, examples: list[ScoredExample],
+               load: float | None) -> RoutingChoice:
+        if not self.router_enabled:
+            return self._fixed_choice(request, examples, self.small_name)
+        return self.router.route(request, examples, load)
+
+    def _bypass_choice(self, request: Request) -> RoutingChoice:
+        return RoutingChoice(
+            model_name=self.large_name,
+            features=routing_features(request, []),
+            mean_scores={}, biased_scores={},
+            solicit_feedback=False,
+        )
+
+    def _fixed_choice(self, request: Request, examples: list[ScoredExample],
+                      model_name: str) -> RoutingChoice:
+        return RoutingChoice(
+            model_name=model_name,
+            features=routing_features(request, examples),
+            mean_scores={}, biased_scores={},
+            solicit_feedback=False,
+        )
+
+    def _learn(self, outcome: ServeOutcome, embedding: np.ndarray) -> None:
+        """All feedback-driven updates for one served request."""
+        choice = outcome.choice
+        quality = outcome.result.quality
+
+        if self.router_enabled and choice.mean_scores:
+            if choice.solicit_feedback and choice.challenger is not None:
+                self._solicited_update(outcome)
+            elif self._rng.uniform() < self.config.feedback_sample_rate:
+                rating = self.feedback.rating(quality)
+                self.router.update(choice.model_name, choice.features, rating)
+                self.stats.router_updates += 1
+
+        # Proxy training from sampled helpfulness observations, and manager
+        # bookkeeping for every *repurposed* example (examples are only
+        # prepended when the request was offloaded).
+        small = self.models[self.small_name]
+        for scored in outcome.examples:
+            if outcome.offloaded:
+                self.manager.record_use(
+                    scored.example,
+                    response_quality=quality,
+                    model_cost=self.arm_costs[choice.model_name],
+                    offloaded=True,
+                )
+            if self._rng.uniform() < self.config.feedback_sample_rate:
+                true_utility = example_utility(
+                    outcome.request.latent,
+                    scored.example.view(),
+                    small.base_quality(outcome.request),
+                )
+                observed = true_utility + self._rng.normal(
+                    0.0, self.config.feedback_noise * 0.5
+                )
+                self.proxy.update(embedding, scored.example, observed)
+                self.stats.proxy_updates += 1
+
+    def _solicited_update(self, outcome: ServeOutcome) -> None:
+        """Preference-feedback update on an uncertain routing decision.
+
+        The challenger's response is generated shadow-style (offline cost);
+        both arms are updated with their observed ratings, which is the
+        information content of a preference pair under Bradley-Terry.
+        """
+        choice = outcome.choice
+        challenger_model = self.models[choice.challenger]
+        offload_challenger = choice.challenger != self.large_name
+        views = [s.example.view() for s in outcome.examples] \
+            if offload_challenger else []
+        challenger_result = challenger_model.generate(outcome.request, views)
+
+        rating_chosen = self.feedback.rating(outcome.result.quality)
+        rating_challenger = self.feedback.rating(challenger_result.quality)
+        self.router.update(choice.model_name, choice.features, rating_chosen)
+        self.router.update(choice.challenger, choice.features, rating_challenger)
+        self.stats.router_updates += 2
+
+    def _record_stats(self, outcome: ServeOutcome) -> None:
+        self.stats.served += 1
+        if outcome.offloaded:
+            self.stats.offloaded += 1
+        self.stats.qualities.append(outcome.result.quality)

@@ -1,0 +1,49 @@
+"""Cosine similarity helpers.
+
+The paper measures request similarity as cosine similarity in [0, 1]
+(section 2.3).  Raw cosine lies in [-1, 1]; embeddings produced by the
+repo's embedders are non-negative-leaning but not strictly so, so callers
+that need the paper's [0, 1] convention use ``rescaled=True``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray, rescaled: bool = False) -> float:
+    """Cosine similarity of two vectors; 0 when either vector is all-zero.
+
+    With ``rescaled=True`` the value is mapped from [-1, 1] to [0, 1],
+    matching the paper's similarity scale where 1 means identical requests.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    denom = float(np.linalg.norm(a) * np.linalg.norm(b))
+    if denom < _EPS:
+        return 0.0
+    sim = float(np.dot(a, b) / denom)
+    sim = max(-1.0, min(1.0, sim))
+    if rescaled:
+        sim = (sim + 1.0) / 2.0
+    return sim
+
+
+def cosine_similarity_matrix(
+    queries: np.ndarray, corpus: np.ndarray, rescaled: bool = False
+) -> np.ndarray:
+    """Pairwise cosine similarity between rows of ``queries`` and ``corpus``."""
+    q = np.asarray(queries, dtype=float)
+    c = np.asarray(corpus, dtype=float)
+    if q.ndim != 2 or c.ndim != 2 or q.shape[1] != c.shape[1]:
+        raise ValueError(f"expected 2-D inputs with equal dim: {q.shape}, {c.shape}")
+    qn = q / np.maximum(np.linalg.norm(q, axis=1, keepdims=True), _EPS)
+    cn = c / np.maximum(np.linalg.norm(c, axis=1, keepdims=True), _EPS)
+    sims = np.clip(qn @ cn.T, -1.0, 1.0)
+    if rescaled:
+        sims = (sims + 1.0) / 2.0
+    return sims

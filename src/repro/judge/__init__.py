@@ -1,0 +1,23 @@
+"""LLM-as-a-judge evaluation (paper section 6.1, substituted).
+
+The paper rates responses with a strong autorater (DeepSeek-R1 or
+Gemini-1.5-Pro) on a seven-point scale from -3 ("A much worse") to +3 ("A
+much better"), sampling eight comparisons per input order to cancel order
+bias.  :class:`Autorater` reproduces that protocol over the simulation's
+latent response qualities, including judge noise and a small position bias
+that the order-swapping protocol then cancels.
+"""
+
+from repro.judge.autorater import Autorater
+from repro.judge.metrics import (
+    PairwiseReport,
+    evaluate_pairwise,
+    win_rate_from_scores,
+)
+
+__all__ = [
+    "Autorater",
+    "PairwiseReport",
+    "evaluate_pairwise",
+    "win_rate_from_scores",
+]

@@ -1,0 +1,62 @@
+"""Aggregate pairwise metrics: average score and win rate.
+
+Win rate follows the paper exactly: (wins + 0.5 * ties) / total, where a tie
+is an average score within the +-0.3 band.  A win rate of 0.5 (or average
+score 0) indicates parity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.judge.autorater import TIE_BAND, Autorater
+
+
+@dataclass
+class PairwiseReport:
+    """Result of judging model A against model B over a request set."""
+
+    n: int
+    avg_score: float
+    win_rate: float          # in [0, 1]
+    wins: int
+    ties: int
+    losses: int
+    scores: list[float] = field(default_factory=list, repr=False)
+
+    @property
+    def win_rate_pct(self) -> float:
+        return 100.0 * self.win_rate
+
+
+def win_rate_from_scores(scores) -> PairwiseReport:
+    """Build a report from per-request average scores (A's perspective)."""
+    scores = [float(s) for s in scores]
+    wins = sum(1 for s in scores if s > TIE_BAND)
+    losses = sum(1 for s in scores if s < -TIE_BAND)
+    ties = len(scores) - wins - losses
+    n = len(scores)
+    if n == 0:
+        return PairwiseReport(n=0, avg_score=0.0, win_rate=0.5, wins=0, ties=0,
+                              losses=0, scores=[])
+    return PairwiseReport(
+        n=n,
+        avg_score=sum(scores) / n,
+        win_rate=(wins + 0.5 * ties) / n,
+        wins=wins,
+        ties=ties,
+        losses=losses,
+        scores=scores,
+    )
+
+
+def evaluate_pairwise(qualities_a, qualities_b,
+                      autorater: Autorater | None = None) -> PairwiseReport:
+    """Judge paired response qualities request-by-request."""
+    qa = list(qualities_a)
+    qb = list(qualities_b)
+    if len(qa) != len(qb):
+        raise ValueError(f"paired lengths differ: {len(qa)} vs {len(qb)}")
+    rater = autorater or Autorater()
+    scores = [rater.compare(a, b) for a, b in zip(qa, qb)]
+    return win_rate_from_scores(scores)

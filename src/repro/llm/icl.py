@@ -1,0 +1,128 @@
+"""The in-context-learning (ICL) boost model.
+
+This encodes the paper's central empirical claims about prepending
+historical request-response pairs (section 2.3, Fig. 4):
+
+* a *relevant* example whose stored response is *better than what the target
+  model would produce alone* transfers knowledge — quality rises;
+* irrelevant ("random") examples distract — quality falls;
+* gains saturate: adding ever more examples yields diminishing returns
+  (section 4.1, "including too many yields diminishing quality improvements");
+* an augmented small model can slightly exceed the large model (win rates of
+  50-60% in Fig. 13/16/17) but not by an unbounded margin — the boost is
+  capped just above the best example's own quality.
+
+Per-example contribution:
+
+    headroom     = max(0, example_quality - base_quality)
+    gated_rel    = smoothstep(relevance between REL_GATE and REL_FULL)
+    contribution = gated_rel * headroom
+
+Total boost:
+
+    boost = min(cap, MAX_BOOST * (1 - exp(-sum(contributions) / SATURATION)))
+            - DISTRACTION_PENALTY * (# examples with relevance < DISTRACT_GATE)
+
+where ``cap`` keeps the final quality at most ``EXCEED_MARGIN`` above the
+best relevant example (imitation can out-perform the teacher a little, not a
+lot).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.embedding.similarity import cosine_similarity
+
+# Calibrated constants (see module docstring for roles).
+REL_GATE = 0.55            # below this, an example cannot help
+REL_FULL = 0.95            # above this, relevance gating is fully open
+DISTRACT_GATE = 0.30       # below this, an example actively hurts
+DISTRACTION_PENALTY = 0.03 # quality loss per distracting example
+MAX_BOOST = 0.40           # asymptotic ceiling of the ICL gain
+SATURATION = 0.18          # how quickly contributions saturate
+EXCEED_MARGIN = 0.01       # how far imitation may exceed the teacher example
+TRANSFER_EFFICIENCY = 0.65 # fraction of teacher headroom that transfers
+
+
+@dataclass(frozen=True)
+class ExampleView:
+    """The minimal view of a cached example the ICL model needs.
+
+    ``quality`` is the latent quality of the example's stored response;
+    ``tokens`` its prompt-length contribution (used by the latency model,
+    carried here so one object serves both).
+    """
+
+    latent: np.ndarray
+    quality: float
+    tokens: int
+
+
+def _smoothstep(x: float) -> float:
+    """C1-smooth ramp from 0 to 1 over [0, 1]."""
+    t = min(1.0, max(0.0, x))
+    return t * t * (3.0 - 2.0 * t)
+
+
+def example_utility(request_latent: np.ndarray, example: ExampleView,
+                    base_quality: float) -> float:
+    """Ground-truth helpfulness of one example for one request+model.
+
+    This is the quantity the paper's proxy model *estimates* (section 4.1);
+    the simulation also uses it directly to compute the realized boost.
+    Negative values mean the example distracts.
+    """
+    relevance = cosine_similarity(request_latent, example.latent)
+    if relevance < DISTRACT_GATE:
+        return -DISTRACTION_PENALTY
+    gate = _smoothstep((relevance - REL_GATE) / (REL_FULL - REL_GATE))
+    headroom = max(0.0, example.quality - base_quality)
+    return gate * headroom
+
+
+class ICLBoostModel:
+    """Aggregates per-example utilities into the realized quality boost."""
+
+    def __init__(self, max_boost: float = MAX_BOOST,
+                 saturation: float = SATURATION,
+                 exceed_margin: float = EXCEED_MARGIN) -> None:
+        if max_boost < 0 or saturation <= 0:
+            raise ValueError("max_boost must be >= 0 and saturation > 0")
+        self.max_boost = max_boost
+        self.saturation = saturation
+        self.exceed_margin = exceed_margin
+
+    def boost(self, request_latent: np.ndarray, examples: list[ExampleView],
+              base_quality: float) -> float:
+        """Quality delta from prepending ``examples`` (may be negative)."""
+        if not examples:
+            return 0.0
+        positive_sum = 0.0
+        distraction = 0.0
+        best_teacher = 0.0
+        for example in examples:
+            utility = example_utility(request_latent, example, base_quality)
+            if utility < 0:
+                distraction += -utility
+            else:
+                positive_sum += utility
+                relevance = cosine_similarity(request_latent, example.latent)
+                if relevance >= REL_GATE:
+                    best_teacher = max(best_teacher, example.quality)
+
+        gain = self.max_boost * (1.0 - np.exp(-positive_sum / self.saturation))
+        # Imitation cap: the augmented model approaches (and may slightly
+        # exceed) the best relevant teacher example, but cannot leapfrog it.
+        if best_teacher > 0.0:
+            cap = max(
+                0.0,
+                TRANSFER_EFFICIENCY * (best_teacher - base_quality)
+                + self.exceed_margin,
+            )
+            gain = min(gain, cap)
+        else:
+            gain = 0.0
+        return float(gain - distraction)

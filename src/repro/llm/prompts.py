@@ -1,0 +1,110 @@
+"""Prompt templates (paper appendix A.1).
+
+The paper prompts generative models with a fixed system template; with
+IC-Cache the selected examples are woven into the template of Fig. 24
+between two copies of the instruction.  The simulation's quality model does
+not read prompt *content*, but the templates matter for two real code paths:
+
+* token accounting — the latency model charges for every template token;
+* cache sizing — examples are stored and shipped as plaintext.
+
+The autorater template (Fig. 25) is included for completeness and used by
+the judge's documentation/tests.
+"""
+
+from __future__ import annotations
+
+from repro.utils.tokens import count_tokens
+
+SYSTEM_PROMPT_WITHOUT_IC = """\
+[System]
+You are a helpful AI Assistant that follows users' instructions carefully.
+Write a response that appropriately completes the request. Provide necessary
+details or explanations if that helps to exceed the user's expectations.
+Below is an instruction that describes a task:
+{instruction}
+"""
+
+SYSTEM_PROMPT_WITH_IC = """\
+[System]
+You are a helpful AI Assistant that follows users' instructions carefully.
+Write a response that appropriately completes the request. Provide necessary
+details or explanations if that helps to exceed the user's expectations.
+Below is an instruction that describes a task:
+{instruction}
+
+Below are examples of detailed instructions and responses. When a user gives
+you an instruction, consider the following:
+**Relevance: Do the examples directly relate to the user's specific task or
+question? If not, focus on completing the user's request without relying on
+the examples.
+**Quality: Do the examples demonstrate excellent explanations, detail, and
+clarity? If so, you may follow their format and style to improve your own
+response.
+**Helpfulness: Do the examples provide helpful information that is relevant
+to the user's instruction? If so, you may use the information in the examples
+to help you complete the user's instruction.
+
+{examples}
+
+Below is an instruction that describes a task. Write a response that
+appropriately completes the request. Provide necessary details or
+explanations if that helps to exceed the user's expectation. Remember: Your
+primary goal is to understand the user's instruction and complete the task
+with informative detail. The examples are resources to guide you, not strict
+templates to follow. However, you can refer to and follow the examples if
+the user's instruction is very similar to the examples.
+Below is an instruction that describes a task again:
+{instruction}
+"""
+
+AUTORATER_SYSTEM_PROMPT = """\
+[System]
+Please act as an impartial judge and evaluate the overall quality of the
+responses provided by two AI assistants to the user question displayed below.
+You should choose the assistant that follows the user's instructions and
+answers the user's question better. Avoid any position biases and ensure that
+the order in which the responses were presented does not influence your
+decision. Be as objective as possible.
+You should format as follows:
+[Rationale]: Placeholder for the short rationale of the score.
+[Score]: Placeholder for the score. This should be -3, -2, -1, 0, 1, 2, or 3.
+"""
+
+EXAMPLE_BLOCK_TEMPLATE = "### Instruction:\n{request}\n### Response:\n{response}\n"
+
+
+def render_example_block(request_text: str, response_text: str) -> str:
+    """One in-context example rendered for the Fig. 24 template."""
+    return EXAMPLE_BLOCK_TEMPLATE.format(request=request_text,
+                                         response=response_text)
+
+
+def build_prompt(instruction: str,
+                 examples: list[tuple[str, str]] | None = None) -> str:
+    """The full serving prompt, with or without in-context examples."""
+    if not examples:
+        return SYSTEM_PROMPT_WITHOUT_IC.format(instruction=instruction)
+    blocks = "\n".join(
+        render_example_block(req, resp) for req, resp in examples
+    )
+    return SYSTEM_PROMPT_WITH_IC.format(instruction=instruction,
+                                        examples=blocks)
+
+
+def prompt_tokens(instruction: str,
+                  examples: list[tuple[str, str]] | None = None) -> int:
+    """Token count of the fully rendered prompt (for latency accounting)."""
+    return count_tokens(build_prompt(instruction, examples))
+
+
+def template_overhead_tokens() -> int:
+    """Tokens the IC template adds beyond instruction + example text.
+
+    This is the constant the latency model charges per augmented request on
+    top of the raw example tokens.
+    """
+    bare = prompt_tokens("x")
+    augmented = prompt_tokens("x", [("y", "z")])
+    raw = count_tokens("y") + count_tokens("z")
+    return max(0, augmented - bare - raw)

@@ -1,0 +1,127 @@
+"""The model zoo: specs calibrated against the paper's measurements.
+
+Latency constants come from the paper's own numbers:
+
+* Fig. 1(a): Gemini-Flash TTFT 0.497s / TBT 5ms vs Gemini-Pro 0.755s / 15ms;
+  Pro scores +0.39 on the seven-point scale (65% win rate).
+* Fig. 1(b): Qwen2.5-7B TTFT 18ms / TBT 6.62ms on 1 GPU vs DeepSeek-R1
+  TTFT 3.14s / TBT 121.4ms on 16 A100s.
+* Fig. 4(b): Qwen-3B TTFT 24ms (code) / 290ms (math) vs Qwen-32B 92ms / 990ms.
+* Fig. 18: Gemma-2-2B zero-load ~2.66s vs 27B ~8.94s; 27B needs ~7x the
+  GPUs per unit throughput.
+
+Capabilities are set so the autorater reproduces the paper's win rates and
+average scores for each pair (large beats small by roughly 0.3-0.5 base
+quality at median difficulty).
+"""
+
+from __future__ import annotations
+
+from repro.llm.model import ModelSpec, SimulatedLLM
+
+MODEL_SPECS: dict[str, ModelSpec] = {
+    spec.name: spec
+    for spec in [
+        ModelSpec(
+            name="gemini-1.5-flash", family="gemini", params_b=30.0,
+            capability=0.72, gpus_per_replica=4,
+            ttft_base_s=0.42, prefill_s_per_token=8e-4, tbt_s=0.005,
+            cost_per_1k_tokens=0.075, max_context_tokens=32768, batch_slots=16,
+        ),
+        ModelSpec(
+            name="gemini-1.5-pro", family="gemini", params_b=200.0,
+            capability=0.82, gpus_per_replica=16,
+            ttft_base_s=0.62, prefill_s_per_token=1.3e-3, tbt_s=0.015,
+            cost_per_1k_tokens=1.25, max_context_tokens=32768, batch_slots=16,
+        ),
+        ModelSpec(
+            name="gemma-2-2b", family="gemma", params_b=2.0,
+            capability=0.62, gpus_per_replica=1,
+            ttft_base_s=0.02, prefill_s_per_token=2.5e-4, tbt_s=0.009,
+            cost_per_1k_tokens=0.02, max_context_tokens=8192, batch_slots=6,
+        ),
+        ModelSpec(
+            name="gemma-2-27b", family="gemma", params_b=27.0,
+            capability=0.78, gpus_per_replica=8,
+            # Large models batch aggressively under vLLM; 16 concurrent
+            # slots per 8-GPU replica lands the Fig. 18 GPU/QPS ratio near
+            # the paper's ~7x while one replica still saturates below the
+            # Fig. 12 trace's offered load.
+            ttft_base_s=0.10, prefill_s_per_token=1.2e-3, tbt_s=0.033,
+            cost_per_1k_tokens=0.27, max_context_tokens=8192, batch_slots=16,
+        ),
+        ModelSpec(
+            # Mid-tier for the section-8 multi-model sweet spots.
+            name="gemma-2-9b", family="gemma", params_b=9.0,
+            capability=0.71, gpus_per_replica=2,
+            ttft_base_s=0.05, prefill_s_per_token=6e-4, tbt_s=0.018,
+            cost_per_1k_tokens=0.09, max_context_tokens=8192, batch_slots=8,
+        ),
+        ModelSpec(
+            name="qwen2.5-3b", family="qwen", params_b=3.0,
+            capability=0.60, gpus_per_replica=1,
+            ttft_base_s=0.012, prefill_s_per_token=8e-5, tbt_s=0.0075,
+            cost_per_1k_tokens=0.03, max_context_tokens=32768, batch_slots=8,
+        ),
+        ModelSpec(
+            name="qwen2.5-7b", family="qwen", params_b=7.0,
+            capability=0.66, gpus_per_replica=1,
+            ttft_base_s=0.012, prefill_s_per_token=2.6e-4, tbt_s=0.00662,
+            cost_per_1k_tokens=0.05, max_context_tokens=32768, batch_slots=8,
+        ),
+        ModelSpec(
+            name="qwen2.5-32b", family="qwen", params_b=32.0,
+            capability=0.79, gpus_per_replica=4,
+            ttft_base_s=0.04, prefill_s_per_token=3.3e-4, tbt_s=0.022,
+            cost_per_1k_tokens=0.40, max_context_tokens=32768, batch_slots=6,
+        ),
+        ModelSpec(
+            name="deepseek-r1", family="deepseek", params_b=671.0,
+            capability=0.88, gpus_per_replica=16,
+            ttft_base_s=2.80, prefill_s_per_token=3.4e-3, tbt_s=0.1214,
+            cost_per_1k_tokens=2.00, max_context_tokens=65536, batch_slots=4,
+            verbosity=2.5,  # reasoning chains inflate decode length
+        ),
+        ModelSpec(
+            name="phi-3-mini", family="phi", params_b=3.8,
+            capability=0.58, gpus_per_replica=1,
+            ttft_base_s=0.015, prefill_s_per_token=3e-4, tbt_s=0.008,
+            cost_per_1k_tokens=0.02, max_context_tokens=4096, batch_slots=8,
+        ),
+        ModelSpec(
+            name="phi-3-medium", family="phi", params_b=14.0,
+            capability=0.71, gpus_per_replica=2,
+            ttft_base_s=0.05, prefill_s_per_token=8e-4, tbt_s=0.018,
+            cost_per_1k_tokens=0.14, max_context_tokens=4096, batch_slots=6,
+        ),
+    ]
+}
+
+# (small, large) pairs evaluated in the paper.
+MODEL_PAIRS: dict[str, tuple[str, str]] = {
+    "gemini": ("gemini-1.5-flash", "gemini-1.5-pro"),
+    "gemma": ("gemma-2-2b", "gemma-2-27b"),
+    "qwen": ("qwen2.5-3b", "qwen2.5-32b"),
+    "qwen_deepseek": ("qwen2.5-7b", "deepseek-r1"),
+    "phi": ("phi-3-mini", "phi-3-medium"),
+}
+
+
+def get_model(name: str, seed: int = 0) -> SimulatedLLM:
+    """Instantiate a simulated model from the zoo."""
+    try:
+        spec = MODEL_SPECS[name]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_SPECS))
+        raise KeyError(f"unknown model {name!r}; known: {known}") from None
+    return SimulatedLLM(spec, seed=seed)
+
+
+def get_model_pair(family: str, seed: int = 0) -> tuple[SimulatedLLM, SimulatedLLM]:
+    """The (small, large) pair the paper evaluates for ``family``."""
+    try:
+        small_name, large_name = MODEL_PAIRS[family]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_PAIRS))
+        raise KeyError(f"unknown pair {family!r}; known: {known}") from None
+    return get_model(small_name, seed=seed), get_model(large_name, seed=seed)

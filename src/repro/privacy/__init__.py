@@ -1,0 +1,14 @@
+"""Privacy controls for the example cache (section 4.3).
+
+* :func:`sanitize_text` — client-side PII scrubbing before admission
+  (the paper uses spaCy NER; here a pattern-based scrubber covering the same
+  identifier classes: emails, phone numbers, SSNs, credit cards, IPs).
+* :class:`DPSynthesizer` — a differentially-private synthetic example pool:
+  examples are re-synthesized from Gaussian-mechanism-noised latents so no
+  original example is individually identifiable (Fig. 21's configuration).
+"""
+
+from repro.privacy.sanitizer import PII_PATTERNS, sanitize_text
+from repro.privacy.dp_synth import DPSynthesizer
+
+__all__ = ["PII_PATTERNS", "sanitize_text", "DPSynthesizer"]

@@ -1,0 +1,34 @@
+"""Pattern-based PII sanitizer (spaCy NER, substituted).
+
+The Example Manager runs this on both request and response text before
+admission.  Patterns cover the structured identifier classes a production
+scrubber must catch; each match is replaced with a typed placeholder so the
+example remains useful as an in-context demonstration.
+"""
+
+from __future__ import annotations
+
+import re
+
+# Order matters: more specific patterns (credit card, SSN) run before the
+# generic number-ish ones would otherwise swallow them.
+PII_PATTERNS: list[tuple[str, re.Pattern]] = [
+    ("EMAIL", re.compile(r"\b[\w.+-]+@[\w-]+\.[\w.-]+\b")),
+    ("CREDIT_CARD", re.compile(r"\b(?:\d[ -]?){13,16}\b")),
+    ("SSN", re.compile(r"\b\d{3}-\d{2}-\d{4}\b")),
+    # A leading \b would fail before "(" (both sides non-word chars), so the
+    # left edge uses a negative lookbehind instead.
+    ("PHONE", re.compile(
+        r"(?<!\w)(?:\+?\d{1,3}[ .-]?)?(?:\(\d{3}\)|\d{3})[ .-]?\d{3}[ .-]?\d{4}\b"
+    )),
+    ("IP_ADDRESS", re.compile(r"\b(?:\d{1,3}\.){3}\d{1,3}\b")),
+    ("URL_CREDENTIAL", re.compile(r"://[^/\s:@]+:[^/\s:@]+@")),
+]
+
+
+def sanitize_text(text: str) -> str:
+    """Replace recognized PII spans with typed placeholders."""
+    cleaned = text
+    for label, pattern in PII_PATTERNS:
+        cleaned = pattern.sub(f"[{label}]", cleaned)
+    return cleaned

@@ -1,0 +1,25 @@
+"""Discrete-event serving-cluster simulator (vLLM on 16xA100, substituted).
+
+The paper's serving experiments need queueing behaviour, not GPU kernels: a
+fixed GPU budget is partitioned into model replicas; each replica sustains a
+bounded number of concurrent requests (continuous-batching slots); requests
+queue FIFO per model; latency = queue wait + TTFT + decode.  The simulator
+reproduces exactly that, driven by arrival traces from
+:mod:`repro.workload.trace` and a pluggable routing policy.
+"""
+
+from repro.serving.cluster import ClusterConfig, ClusterSimulator, ModelDeployment
+from repro.serving.records import ServedRequest, ServingReport
+from repro.serving.metrics import windowed_series
+from repro.serving.autoscaler import BiasAutoscaler, ScalingDecision
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterSimulator",
+    "ModelDeployment",
+    "ServedRequest",
+    "ServingReport",
+    "windowed_series",
+    "BiasAutoscaler",
+    "ScalingDecision",
+]

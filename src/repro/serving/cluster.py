@@ -1,0 +1,186 @@
+"""The discrete-event cluster simulator."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.llm.icl import ExampleView
+from repro.llm.model import SimulatedLLM
+from repro.serving.records import ServedRequest, ServingReport
+from repro.workload.request import Request
+
+# A routing decision: which model serves the request, with which examples.
+RoutingDecision = tuple[str, list[ExampleView]]
+RouterFn = Callable[[Request, "ClusterSimulator"], RoutingDecision]
+
+
+@dataclass
+class ModelDeployment:
+    """How many replicas of a model the cluster runs."""
+
+    model: SimulatedLLM
+    replicas: int
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ValueError(
+                f"{self.model.name}: replicas must be >= 1, got {self.replicas}"
+            )
+
+    @property
+    def total_slots(self) -> int:
+        return self.replicas * self.model.spec.batch_slots
+
+    @property
+    def total_gpus(self) -> int:
+        return self.replicas * self.model.spec.gpus_per_replica
+
+
+@dataclass
+class ClusterConfig:
+    """Cluster composition, checked against a GPU budget."""
+
+    deployments: list[ModelDeployment]
+    gpu_budget: int | None = 16   # the paper's 16xA100 cluster; None = unchecked
+
+    def __post_init__(self) -> None:
+        names = [d.model.name for d in self.deployments]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate model deployments: {names}")
+        if self.gpu_budget is not None:
+            used = sum(d.total_gpus for d in self.deployments)
+            if used > self.gpu_budget:
+                raise ValueError(
+                    f"deployments need {used} GPUs, budget is {self.gpu_budget}"
+                )
+
+
+class _ModelQueue:
+    """FIFO queue plus slot accounting for one deployed model."""
+
+    def __init__(self, deployment: ModelDeployment) -> None:
+        self.deployment = deployment
+        self.pending: deque = deque()
+        self.in_service = 0
+
+    @property
+    def free_slots(self) -> int:
+        return self.deployment.total_slots - self.in_service
+
+    @property
+    def load(self) -> float:
+        """Occupancy including queued work, relative to capacity."""
+        capacity = self.deployment.total_slots
+        return (self.in_service + len(self.pending)) / capacity
+
+
+class ClusterSimulator:
+    """Replays an arrival sequence through queues and replicas.
+
+    Event kinds: ``arrival`` routes a request and enqueues it; ``finish``
+    frees a slot and starts queued work.  The router callback sees the live
+    simulator, so load-aware policies can read :meth:`load` /
+    :meth:`total_load` at decision time — this is the signal the paper's
+    Request Router biases on.
+    """
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self.config = config
+        self._queues = {d.model.name: _ModelQueue(d) for d in config.deployments}
+        self.now = 0.0
+        self._events: list = []
+        self._seq = itertools.count()
+        self.report = ServingReport()
+        self.dropped: list[str] = []
+        self._on_complete: Callable[[Request, ServedRequest], None] | None = None
+
+    # ----- state the router can read -----------------------------------
+
+    def load(self, model_name: str) -> float:
+        return self._queue(model_name).load
+
+    def total_load(self) -> float:
+        """System-wide occupancy in [0, inf); > 1 means queues are growing."""
+        slots = sum(q.deployment.total_slots for q in self._queues.values())
+        busy = sum(q.in_service + len(q.pending) for q in self._queues.values())
+        return busy / slots if slots else 0.0
+
+    def model_names(self) -> list[str]:
+        return list(self._queues)
+
+    def total_gpus(self) -> int:
+        return sum(q.deployment.total_gpus for q in self._queues.values())
+
+    # ----- simulation ---------------------------------------------------
+
+    def run(self, arrivals: list[tuple[float, Request]], router: RouterFn,
+            on_complete: Callable[[Request, ServedRequest], None] | None = None,
+            ) -> ServingReport:
+        """Simulate the full arrival sequence; returns the completed report.
+
+        ``on_complete`` fires as each request finishes (simulation order), so
+        online-learning policies can ingest feedback with realistic delay.
+        """
+        self._on_complete = on_complete
+        for timestamp, request in arrivals:
+            self._push(timestamp, "arrival", (request, router))
+        while self._events:
+            timestamp, _, kind, payload = heapq.heappop(self._events)
+            self.now = timestamp
+            if kind == "arrival":
+                self._handle_arrival(*payload)
+            else:
+                self._handle_finish(payload)
+        return self.report
+
+    def _push(self, timestamp: float, kind: str, payload) -> None:
+        heapq.heappush(self._events, (timestamp, next(self._seq), kind, payload))
+
+    def _queue(self, model_name: str) -> _ModelQueue:
+        try:
+            return self._queues[model_name]
+        except KeyError:
+            known = ", ".join(self._queues)
+            raise KeyError(f"model {model_name!r} not deployed; have: {known}") from None
+
+    def _handle_arrival(self, request: Request, router: RouterFn) -> None:
+        model_name, examples = router(request, self)
+        queue = self._queue(model_name)
+        queue.pending.append((request, examples, self.now))
+        self._drain(queue)
+
+    def _drain(self, queue: _ModelQueue) -> None:
+        while queue.pending and queue.free_slots > 0:
+            request, examples, arrival_s = queue.pending.popleft()
+            queue.in_service += 1
+            result = queue.deployment.model.generate(request, examples)
+            record = ServedRequest(
+                request_id=request.request_id,
+                model_name=result.model_name,
+                arrival_s=arrival_s,
+                start_s=self.now,
+                finish_s=self.now + result.total_s,
+                ttft_s=result.ttft_s,
+                quality=result.quality,
+                prompt_tokens=result.prompt_tokens,
+                output_tokens=result.output_tokens,
+                n_examples=result.n_examples,
+                cost=result.cost,
+            )
+            self._push(
+                record.finish_s, "finish",
+                (queue.deployment.model.name, record, request),
+            )
+
+    def _handle_finish(self, payload) -> None:
+        model_name, record, request = payload
+        queue = self._queue(model_name)
+        queue.in_service -= 1
+        self.report.records.append(record)
+        if self._on_complete is not None:
+            self._on_complete(request, record)
+        self._drain(queue)

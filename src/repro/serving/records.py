@@ -1,0 +1,83 @@
+"""Per-request serving records and run-level reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.stats import LatencySummary, summarize_latencies
+
+
+@dataclass
+class ServedRequest:
+    """One completed request's serving-side observables."""
+
+    request_id: str
+    model_name: str
+    arrival_s: float
+    start_s: float       # when a replica slot was acquired
+    finish_s: float
+    ttft_s: float        # generation-side TTFT (excludes queueing)
+    quality: float
+    prompt_tokens: int
+    output_tokens: int
+    n_examples: int
+    cost: float
+
+    @property
+    def queue_wait_s(self) -> float:
+        return self.start_s - self.arrival_s
+
+    @property
+    def e2e_latency_s(self) -> float:
+        return self.finish_s - self.arrival_s
+
+    @property
+    def observed_ttft_s(self) -> float:
+        """User-perceived TTFT: queueing plus prefill."""
+        return self.queue_wait_s + self.ttft_s
+
+
+@dataclass
+class ServingReport:
+    """Aggregates over one simulated run."""
+
+    records: list[ServedRequest] = field(default_factory=list)
+
+    @property
+    def n(self) -> int:
+        return len(self.records)
+
+    @property
+    def duration_s(self) -> float:
+        if not self.records:
+            return 0.0
+        start = min(r.arrival_s for r in self.records)
+        end = max(r.finish_s for r in self.records)
+        return end - start
+
+    @property
+    def throughput_rps(self) -> float:
+        duration = self.duration_s
+        return self.n / duration if duration > 0 else 0.0
+
+    def latency_summary(self) -> LatencySummary:
+        return summarize_latencies(r.e2e_latency_s for r in self.records)
+
+    def ttft_summary(self) -> LatencySummary:
+        return summarize_latencies(r.observed_ttft_s for r in self.records)
+
+    def offload_ratio(self, small_models: set[str]) -> float:
+        """Fraction of requests served by models in ``small_models``."""
+        if not self.records:
+            return 0.0
+        offloaded = sum(1 for r in self.records if r.model_name in small_models)
+        return offloaded / self.n
+
+    def by_model(self) -> dict[str, "ServingReport"]:
+        split: dict[str, ServingReport] = {}
+        for record in self.records:
+            split.setdefault(record.model_name, ServingReport()).records.append(record)
+        return split
+
+    def total_cost(self) -> float:
+        return sum(r.cost for r in self.records)

@@ -1,0 +1,22 @@
+"""Similarity-search indexes (GPU FAISS, substituted — paper section 5).
+
+* :class:`FlatIndex` — exact cosine top-k by brute force; the correctness
+  oracle and the right choice for small pools.
+* :class:`KMeans` — Lloyd's algorithm with k-means++ seeding.
+* :class:`IVFIndex` — inverted-file index: cluster the pool into K groups
+  offline, search the ``nprobe`` nearest clusters online.  Section 4.1
+  derives the matching-cost-minimizing K = sqrt(N), which is the default.
+"""
+
+from repro.vectorstore.flat import FlatIndex, SearchResult
+from repro.vectorstore.kmeans import KMeans, KMeansResult
+from repro.vectorstore.ivf import IVFIndex, optimal_cluster_count
+
+__all__ = [
+    "FlatIndex",
+    "SearchResult",
+    "KMeans",
+    "KMeansResult",
+    "IVFIndex",
+    "optimal_cluster_count",
+]

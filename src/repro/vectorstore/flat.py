@@ -1,0 +1,96 @@
+"""Exact (brute-force) cosine similarity index."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One retrieval hit: the stored key and its cosine score to the query."""
+
+    key: object
+    score: float
+
+
+class FlatIndex:
+    """Exact top-k cosine search over unit-normalized vectors.
+
+    Supports dynamic add/remove (the example cache churns constantly).
+    Vectors are L2-normalized on insert so search is a single matrix-vector
+    product.
+    """
+
+    def __init__(self, dim: int) -> None:
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        self.dim = dim
+        self._keys: list[object] = []
+        self._key_to_row: dict[object, int] = {}
+        self._vectors = np.empty((0, dim), dtype=float)
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._key_to_row
+
+    @property
+    def keys(self) -> list[object]:
+        return list(self._keys)
+
+    def add(self, key: object, vector: np.ndarray) -> None:
+        """Insert (or overwrite) ``key`` with its embedding."""
+        vec = np.asarray(vector, dtype=float).reshape(-1)
+        if vec.shape != (self.dim,):
+            raise ValueError(f"vector dim {vec.shape} != index dim ({self.dim},)")
+        norm = float(np.linalg.norm(vec))
+        if norm < _EPS:
+            raise ValueError(f"cannot index a zero vector for key {key!r}")
+        vec = vec / norm
+        if key in self._key_to_row:
+            self._vectors[self._key_to_row[key]] = vec
+            return
+        self._key_to_row[key] = len(self._keys)
+        self._keys.append(key)
+        self._vectors = np.vstack([self._vectors, vec[None, :]])
+
+    def remove(self, key: object) -> None:
+        """Delete ``key``; O(1) via swap-with-last."""
+        row = self._key_to_row.pop(key, None)
+        if row is None:
+            raise KeyError(key)
+        last = len(self._keys) - 1
+        if row != last:
+            moved_key = self._keys[last]
+            self._keys[row] = moved_key
+            self._vectors[row] = self._vectors[last]
+            self._key_to_row[moved_key] = row
+        self._keys.pop()
+        self._vectors = self._vectors[:last]
+
+    def get_vector(self, key: object) -> np.ndarray:
+        """The stored (normalized) embedding for ``key``."""
+        return self._vectors[self._key_to_row[key]].copy()
+
+    def search(self, query: np.ndarray, k: int) -> list[SearchResult]:
+        """Top-``k`` entries by cosine similarity to ``query`` (descending)."""
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        if k == 0 or not self._keys:
+            return []
+        q = np.asarray(query, dtype=float).reshape(-1)
+        if q.shape != (self.dim,):
+            raise ValueError(f"query dim {q.shape} != index dim ({self.dim},)")
+        qnorm = float(np.linalg.norm(q))
+        if qnorm < _EPS:
+            return []
+        scores = self._vectors @ (q / qnorm)
+        k = min(k, len(self._keys))
+        top = np.argpartition(-scores, k - 1)[:k]
+        top = top[np.argsort(-scores[top])]
+        return [SearchResult(self._keys[i], float(scores[i])) for i in top]

@@ -1,0 +1,143 @@
+"""Inverted-file (IVF) index: cluster offline, probe nearest clusters online.
+
+Paper section 4.1 balances the per-request matching cost K + N/K and picks
+K = sqrt(N) clusters; :func:`optimal_cluster_count` implements exactly that.
+The index clusters lazily: entries accumulate in the exact flat index until
+``retrain_threshold`` inserts/removes have occurred, then K-Means re-runs in
+the background (here: synchronously on the next search).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.vectorstore.flat import FlatIndex, SearchResult
+from repro.vectorstore.kmeans import KMeans
+
+
+def optimal_cluster_count(n: int) -> int:
+    """K = argmin_K (K + N/K) = sqrt(N), at least 1."""
+    if n <= 0:
+        return 1
+    return max(1, int(round(math.sqrt(n))))
+
+
+class IVFIndex:
+    """Clustered approximate top-k cosine search with dynamic updates.
+
+    Falls back to exact search while the pool is small (< ``min_train_size``)
+    or right after heavy churn, mirroring how production ANN deployments keep
+    a fresh segment alongside trained shards.
+    """
+
+    def __init__(self, dim: int, nprobe: int = 2, min_train_size: int = 64,
+                 retrain_threshold: float = 0.3, seed: int = 0) -> None:
+        if nprobe < 1:
+            raise ValueError(f"nprobe must be >= 1, got {nprobe}")
+        if not 0.0 < retrain_threshold <= 1.0:
+            raise ValueError(f"retrain_threshold must be in (0,1], got {retrain_threshold}")
+        self.dim = dim
+        self.nprobe = nprobe
+        self.min_train_size = min_train_size
+        self.retrain_threshold = retrain_threshold
+        self.seed = seed
+
+        self._flat = FlatIndex(dim)
+        self._centroids: np.ndarray | None = None
+        self._cluster_members: list[list[object]] = []
+        self._key_to_cluster: dict[object, int] = {}
+        self._churn = 0  # inserts/removes since last (re)train
+        self.trainings = 0  # exposed for tests/benchmarks
+
+    def __len__(self) -> int:
+        return len(self._flat)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._flat
+
+    @property
+    def is_trained(self) -> bool:
+        return self._centroids is not None
+
+    @property
+    def n_clusters(self) -> int:
+        return 0 if self._centroids is None else self._centroids.shape[0]
+
+    def add(self, key: object, vector: np.ndarray) -> None:
+        if key in self._flat:
+            self.remove(key)
+        self._flat.add(key, vector)
+        self._churn += 1
+        if self._centroids is not None:
+            # Assign to nearest existing centroid without retraining.
+            vec = self._flat.get_vector(key)
+            cluster = int(np.argmax(self._centroids @ vec))
+            self._cluster_members[cluster].append(key)
+            self._key_to_cluster[key] = cluster
+
+    def remove(self, key: object) -> None:
+        self._flat.remove(key)
+        self._churn += 1
+        cluster = self._key_to_cluster.pop(key, None)
+        if cluster is not None:
+            self._cluster_members[cluster].remove(key)
+
+    def get_vector(self, key: object) -> np.ndarray:
+        return self._flat.get_vector(key)
+
+    def search(self, query: np.ndarray, k: int) -> list[SearchResult]:
+        """Approximate top-k; exact while untrained or small."""
+        self._maybe_train()
+        if self._centroids is None:
+            return self._flat.search(query, k)
+
+        q = np.asarray(query, dtype=float).reshape(-1)
+        qnorm = float(np.linalg.norm(q))
+        if qnorm <= 0 or k <= 0:
+            return []
+        q = q / qnorm
+        nprobe = min(self.nprobe, self.n_clusters)
+        centroid_scores = self._centroids @ q
+        probe = np.argsort(-centroid_scores)[:nprobe]
+
+        candidates: list[SearchResult] = []
+        for cluster in probe:
+            for key in self._cluster_members[cluster]:
+                score = float(self._flat.get_vector(key) @ q)
+                candidates.append(SearchResult(key, score))
+        candidates.sort(key=lambda r: r.score, reverse=True)
+        return candidates[:k]
+
+    def matching_cost(self) -> float:
+        """Expected comparisons per query: K + nprobe * N / K (section 4.1)."""
+        n = len(self)
+        if self._centroids is None or n == 0:
+            return float(n)
+        k = self.n_clusters
+        return k + self.nprobe * n / k
+
+    def _maybe_train(self) -> None:
+        n = len(self._flat)
+        if n < self.min_train_size:
+            return
+        stale = self._centroids is None or self._churn >= max(
+            1, int(self.retrain_threshold * n)
+        )
+        if not stale:
+            return
+        keys = self._flat.keys
+        data = np.stack([self._flat.get_vector(key) for key in keys])
+        k = optimal_cluster_count(n)
+        result = KMeans(n_clusters=k, seed=self.seed).fit(data)
+        self._centroids = result.centroids / np.maximum(
+            np.linalg.norm(result.centroids, axis=1, keepdims=True), 1e-12
+        )
+        self._cluster_members = [[] for _ in range(self._centroids.shape[0])]
+        self._key_to_cluster = {}
+        for key, label in zip(keys, result.labels):
+            self._cluster_members[int(label)].append(key)
+            self._key_to_cluster[key] = int(label)
+        self._churn = 0
+        self.trainings += 1

@@ -1,0 +1,102 @@
+"""K-Means clustering (Lloyd's algorithm with k-means++ seeding).
+
+Used by :class:`repro.vectorstore.ivf.IVFIndex` to partition the example pool
+offline (paper section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+
+
+@dataclass
+class KMeansResult:
+    """Fitted clustering: ``centroids`` is (k, dim), ``labels`` is (n,)."""
+
+    centroids: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    iterations: int
+
+
+class KMeans:
+    """Plain Lloyd's iteration; deterministic given the seed."""
+
+    def __init__(self, n_clusters: int, max_iter: int = 50, tol: float = 1e-6,
+                 seed: int = 0) -> None:
+        if n_clusters < 1:
+            raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+        if max_iter < 1:
+            raise ValueError(f"max_iter must be >= 1, got {max_iter}")
+        self.n_clusters = n_clusters
+        self.max_iter = max_iter
+        self.tol = tol
+        self.seed = seed
+
+    def fit(self, data: np.ndarray) -> KMeansResult:
+        x = np.asarray(data, dtype=float)
+        if x.ndim != 2 or x.shape[0] == 0:
+            raise ValueError(f"expected non-empty 2-D data, got shape {x.shape}")
+        n = x.shape[0]
+        k = min(self.n_clusters, n)
+        rng = make_rng(self.seed)
+
+        centroids = self._kmeanspp_init(x, k, rng)
+        labels = np.zeros(n, dtype=int)
+        inertia = float("inf")
+        iterations = 0
+        for iterations in range(1, self.max_iter + 1):
+            dists = _sq_distances(x, centroids)
+            labels = np.argmin(dists, axis=1)
+            new_inertia = float(dists[np.arange(n), labels].sum())
+
+            new_centroids = centroids.copy()
+            for c in range(k):
+                members = x[labels == c]
+                if members.shape[0] > 0:
+                    new_centroids[c] = members.mean(axis=0)
+                else:
+                    # Re-seed an empty cluster on the farthest point, the
+                    # standard fix for centroid collapse.
+                    farthest = int(np.argmax(dists[np.arange(n), labels]))
+                    new_centroids[c] = x[farthest]
+            shift = float(np.linalg.norm(new_centroids - centroids))
+            centroids = new_centroids
+            if abs(inertia - new_inertia) <= self.tol or shift <= self.tol:
+                inertia = new_inertia
+                break
+            inertia = new_inertia
+
+        return KMeansResult(centroids=centroids, labels=labels, inertia=inertia,
+                            iterations=iterations)
+
+    @staticmethod
+    def _kmeanspp_init(x: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+        """k-means++ seeding: spread initial centroids by D^2 sampling."""
+        n = x.shape[0]
+        centroids = np.empty((k, x.shape[1]))
+        first = int(rng.integers(0, n))
+        centroids[0] = x[first]
+        closest_sq = _sq_distances(x, centroids[:1]).reshape(-1)
+        for c in range(1, k):
+            total = float(closest_sq.sum())
+            if total <= 0:
+                # All points coincide with existing centroids: pick uniformly.
+                idx = int(rng.integers(0, n))
+            else:
+                probs = closest_sq / total
+                idx = int(rng.choice(n, p=probs))
+            centroids[c] = x[idx]
+            new_sq = _sq_distances(x, centroids[c : c + 1]).reshape(-1)
+            closest_sq = np.minimum(closest_sq, new_sq)
+        return centroids
+
+
+def _sq_distances(x: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Pairwise squared Euclidean distances, (n, k)."""
+    diffs = x[:, None, :] - centroids[None, :, :]
+    return np.einsum("nkd,nkd->nk", diffs, diffs)

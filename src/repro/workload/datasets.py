@@ -1,0 +1,206 @@
+"""Dataset profiles and the synthetic dataset generator.
+
+Each :class:`DatasetProfile` captures the properties of one of the paper's
+datasets (Table 1) that the evaluation depends on: task type, scale, topic
+diversity, difficulty, and prompt/response length distributions.  Counts are
+the paper's, and generation scales them by a ``scale`` factor so the default
+test/bench runs stay fast while full-scale runs remain one flag away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import make_rng, spawn_rng, stable_hash
+from repro.workload.request import Request, TaskType
+from repro.workload.topics import TopicModel
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Static description of a dataset (paper Table 1 plus shape parameters)."""
+
+    name: str
+    task: TaskType
+    example_size: int       # size of the example bank (paper Table 1)
+    request_size: int       # size of the online request set (paper Table 1)
+    n_topics: int           # topic diversity; fewer topics => more similarity
+    difficulty_mean: float  # average request difficulty in [0, 1]
+    difficulty_spread: float
+    prompt_words_mean: int  # lognormal-ish prompt length
+    output_tokens_mean: int
+    zipf_exponent: float = 1.1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.difficulty_mean <= 1.0:
+            raise ValueError(f"{self.name}: difficulty_mean out of [0,1]")
+        if self.example_size < 1 or self.request_size < 1:
+            raise ValueError(f"{self.name}: sizes must be positive")
+
+
+# Profiles mirror Table 1.  Topic counts are chosen so that the top-1
+# similarity CDF reproduces Fig. 3(a): the QA/search datasets (MS MARCO,
+# Natural Questions) are most redundant, free-form chat least.
+DATASET_PROFILES: dict[str, DatasetProfile] = {
+    "alpaca": DatasetProfile(
+        name="alpaca", task=TaskType.CONVERSATION,
+        example_size=32_392, request_size=1_800, n_topics=900,
+        difficulty_mean=0.45, difficulty_spread=0.18,
+        prompt_words_mean=28, output_tokens_mean=180,
+    ),
+    "lmsys_chat": DatasetProfile(
+        name="lmsys_chat", task=TaskType.CONVERSATION,
+        example_size=273_043, request_size=15_170, n_topics=4_000,
+        difficulty_mean=0.50, difficulty_spread=0.20,
+        prompt_words_mean=40, output_tokens_mean=220,
+    ),
+    "open_orca": DatasetProfile(
+        name="open_orca", task=TaskType.CONVERSATION,
+        example_size=774_285, request_size=43_016, n_topics=6_000,
+        difficulty_mean=0.52, difficulty_spread=0.18,
+        prompt_words_mean=60, output_tokens_mean=240,
+    ),
+    "ms_marco": DatasetProfile(
+        name="ms_marco", task=TaskType.QUESTION_ANSWERING,
+        example_size=808_731, request_size=101_092, n_topics=5_000,
+        difficulty_mean=0.38, difficulty_spread=0.16,
+        prompt_words_mean=12, output_tokens_mean=90,
+        zipf_exponent=1.25,
+    ),
+    "natural_questions": DatasetProfile(
+        name="natural_questions", task=TaskType.QUESTION_ANSWERING,
+        example_size=300_000, request_size=7_830, n_topics=2_500,
+        difficulty_mean=0.42, difficulty_spread=0.16,
+        prompt_words_mean=14, output_tokens_mean=110,
+        zipf_exponent=1.2,
+    ),
+    "wmt16": DatasetProfile(
+        name="wmt16", task=TaskType.TRANSLATION,
+        example_size=600_000, request_size=1_000, n_topics=3_000,
+        difficulty_mean=0.40, difficulty_spread=0.14,
+        prompt_words_mean=25, output_tokens_mean=60,
+    ),
+    "nl2bash": DatasetProfile(
+        name="nl2bash", task=TaskType.CODE_GENERATION,
+        example_size=8_090, request_size=609, n_topics=220,
+        difficulty_mean=0.55, difficulty_spread=0.18,
+        prompt_words_mean=18, output_tokens_mean=45,
+    ),
+    # "Long-context math reasoning" (Table 1): multi-kilotoken prompts, which
+    # is what makes Fig. 4(b)'s math TTFTs an order of magnitude above code.
+    "math500": DatasetProfile(
+        name="math500", task=TaskType.MATH_REASONING,
+        example_size=7_500, request_size=5_000, n_topics=260,
+        difficulty_mean=0.72, difficulty_spread=0.14,
+        prompt_words_mean=2200, output_tokens_mean=420,
+    ),
+}
+
+
+def get_profile(name: str) -> DatasetProfile:
+    """Look up a profile by name, with a helpful error on typos."""
+    try:
+        return DATASET_PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(DATASET_PROFILES))
+        raise KeyError(f"unknown dataset {name!r}; known: {known}") from None
+
+
+class SyntheticDataset:
+    """Generates example-bank and online-request splits for one profile.
+
+    ``scale`` multiplies the paper's example/request counts (default keeps
+    runs laptop-fast); topic count is scaled with sqrt(scale) so the
+    similarity structure — requests per topic — is preserved rather than
+    diluted when scaling down.
+    """
+
+    def __init__(self, profile: DatasetProfile | str, scale: float = 0.01,
+                 dim: int = 64, seed: int = 0) -> None:
+        if isinstance(profile, str):
+            profile = get_profile(profile)
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self.profile = profile
+        self.scale = scale
+        self.dim = dim
+        self.seed = seed
+        n_topics = max(8, int(round(profile.n_topics * np.sqrt(scale))))
+        self.topics = TopicModel(
+            n_topics=n_topics, dim=dim,
+            zipf_exponent=profile.zipf_exponent,
+            seed=stable_hash("dataset-topics", profile.name, seed),
+        )
+        self._counter = 0
+
+    @property
+    def example_count(self) -> int:
+        return max(8, int(round(self.profile.example_size * self.scale)))
+
+    @property
+    def request_count(self) -> int:
+        return max(8, int(round(self.profile.request_size * self.scale)))
+
+    def generate_requests(self, n: int, split: str = "online") -> list[Request]:
+        """Generate ``n`` fresh requests from this dataset's distribution."""
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        rng = make_rng(
+            stable_hash("dataset-gen", self.profile.name, self.seed, split,
+                        self._counter)
+        )
+        requests = []
+        for _ in range(n):
+            requests.append(self._one_request(rng, split))
+        self._counter += 1
+        return requests
+
+    def example_bank_requests(self) -> list[Request]:
+        """The historical requests used to seed the example cache."""
+        return self.generate_requests(self.example_count, split="history")
+
+    def online_requests(self, n: int | None = None) -> list[Request]:
+        """The live request stream for evaluation."""
+        return self.generate_requests(
+            self.request_count if n is None else n, split="online"
+        )
+
+    def _one_request(self, rng: np.random.Generator, split: str) -> Request:
+        profile = self.profile
+        topic_id = self.topics.sample_topic(rng)
+        latent = self.topics.sample_latent(topic_id, rng)
+        topic_difficulty = self.topics.sample_difficulty(
+            topic_id, rng, spread=profile.difficulty_spread
+        )
+        # Centre difficulty on the dataset profile while keeping per-topic
+        # structure (some topics are harder than others within a dataset).
+        difficulty = float(np.clip(
+            profile.difficulty_mean
+            + 0.5 * (topic_difficulty - 0.5)
+            + rng.normal(0.0, profile.difficulty_spread * 0.5),
+            0.0, 1.0,
+        ))
+        n_words = max(3, int(rng.lognormal(
+            np.log(profile.prompt_words_mean), 0.45
+        )))
+        request_id = f"{profile.name}-{split}-{self._counter}-{self.topics.seed}-{rng.integers(0, 2**31)}"
+        text = self.topics.render_text(
+            topic_id, spawn_rng(rng, "req-text", request_id), n_words,
+            prefix=profile.task.value,
+        )
+        output_tokens = max(4, int(rng.lognormal(
+            np.log(profile.output_tokens_mean), 0.5
+        )))
+        return Request(
+            request_id=request_id,
+            dataset=profile.name,
+            task=profile.task,
+            text=text,
+            latent=latent,
+            topic_id=topic_id,
+            difficulty=difficulty,
+            prompt_tokens=0,  # recomputed from text in __post_init__
+            target_output_tokens=output_tokens,
+        )

@@ -1,0 +1,62 @@
+"""Dataset preprocessing (paper appendix A.4).
+
+The paper deduplicates examples and filters out non-English queries before
+populating the example banks.  The reproduction applies the same two passes:
+
+* **dedupe** — drop requests whose embedding similarity to an already-kept
+  request exceeds a threshold (exact duplicates and trivial rephrasings);
+* **language filter** — the synthetic corpus tags a request's language in
+  metadata; anything non-English is dropped (stands in for a langid model).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vectorstore.flat import FlatIndex
+from repro.workload.request import Request
+
+
+def filter_non_english(requests: list[Request]) -> list[Request]:
+    """Keep requests whose metadata language is English (default: keep)."""
+    return [
+        r for r in requests
+        if r.metadata.get("language", "en").lower().startswith("en")
+    ]
+
+
+def deduplicate(requests: list[Request], embeddings: np.ndarray | None = None,
+                threshold: float = 0.98) -> list[Request]:
+    """Drop near-duplicate requests (first occurrence wins).
+
+    ``embeddings`` are the requests' retrieval embeddings; when omitted, the
+    ground-truth latents are used (fine for offline preprocessing of a
+    synthetic corpus).  O(n * kept) via incremental exact search.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+    if not requests:
+        return []
+    if embeddings is None:
+        embeddings = np.stack([r.latent for r in requests])
+    if len(embeddings) != len(requests):
+        raise ValueError(
+            f"embeddings ({len(embeddings)}) must pair with requests "
+            f"({len(requests)})"
+        )
+
+    index = FlatIndex(dim=embeddings.shape[1])
+    kept: list[Request] = []
+    for request, embedding in zip(requests, embeddings):
+        hits = index.search(embedding, 1)
+        if hits and hits[0].score >= threshold:
+            continue
+        index.add(request.request_id, embedding)
+        kept.append(request)
+    return kept
+
+
+def preprocess(requests: list[Request], dedupe_threshold: float = 0.98,
+               ) -> list[Request]:
+    """The appendix-A.4 pipeline: language filter, then deduplication."""
+    return deduplicate(filter_non_english(requests), threshold=dedupe_threshold)

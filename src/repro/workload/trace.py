@@ -1,0 +1,119 @@
+"""Arrival traces (Azure/Microsoft LLM serving trace, substituted).
+
+The paper's load analysis (Fig. 2) shows two phenomena the serving
+experiments depend on: a diurnal envelope, and minute-level bursts where
+peak RPS reaches up to 25x the off-peak minimum.  ``azure_like_trace``
+generates a per-minute RPS series with both.  ``evaluation_trace`` produces
+the 30-minute evaluation window of Fig. 22 (requests arriving in bursts of
+0-80 per half-minute bucket).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import make_rng, stable_hash
+
+
+@dataclass
+class ArrivalTrace:
+    """A rate series plus helpers to expand it into arrival timestamps."""
+
+    bucket_seconds: float
+    rates_per_second: np.ndarray  # average RPS within each bucket
+
+    def __post_init__(self) -> None:
+        self.rates_per_second = np.asarray(self.rates_per_second, dtype=float)
+        if self.bucket_seconds <= 0:
+            raise ValueError(f"bucket_seconds must be positive: {self.bucket_seconds}")
+        if (self.rates_per_second < 0).any():
+            raise ValueError("rates must be non-negative")
+
+    @property
+    def duration_seconds(self) -> float:
+        return self.bucket_seconds * len(self.rates_per_second)
+
+    @property
+    def total_expected_requests(self) -> float:
+        return float(self.rates_per_second.sum() * self.bucket_seconds)
+
+    def peak_to_trough(self) -> float:
+        """Max rate over min *positive* rate — the paper's 25x statistic."""
+        positive = self.rates_per_second[self.rates_per_second > 0]
+        if positive.size == 0:
+            return 1.0
+        return float(positive.max() / positive.min())
+
+    def scaled_to(self, mean_rps: float) -> "ArrivalTrace":
+        """Rescale so the average rate equals ``mean_rps`` (shape preserved)."""
+        if mean_rps < 0:
+            raise ValueError(f"mean_rps must be >= 0, got {mean_rps}")
+        current = float(self.rates_per_second.mean())
+        if current == 0:
+            return ArrivalTrace(self.bucket_seconds, self.rates_per_second.copy())
+        factor = mean_rps / current
+        return ArrivalTrace(self.bucket_seconds, self.rates_per_second * factor)
+
+    def arrival_times(self, seed: int = 0) -> np.ndarray:
+        """Expand the rate series into Poisson arrival timestamps (sorted)."""
+        rng = make_rng(stable_hash("arrivals", seed, len(self.rates_per_second)))
+        times: list[float] = []
+        for i, rate in enumerate(self.rates_per_second):
+            expected = rate * self.bucket_seconds
+            count = int(rng.poisson(expected)) if expected > 0 else 0
+            start = i * self.bucket_seconds
+            times.extend(start + rng.uniform(0, self.bucket_seconds, size=count))
+        return np.sort(np.asarray(times))
+
+
+def azure_like_trace(duration_hours: float = 42.0, mean_rps: float = 2.0,
+                     burstiness: float = 1.0, seed: int = 0) -> ArrivalTrace:
+    """Diurnal envelope + lognormal minute-level bursts (paper Fig. 2).
+
+    ``burstiness`` scales the minute-level noise; 1.0 reproduces the paper's
+    ~25x peak-to-trough ratio.
+    """
+    if duration_hours <= 0:
+        raise ValueError(f"duration_hours must be positive: {duration_hours}")
+    rng = make_rng(stable_hash("azure-trace", seed))
+    minutes = int(round(duration_hours * 60))
+    t = np.arange(minutes, dtype=float)
+
+    # Diurnal: two peaks per day (work morning + evening), trough overnight.
+    day_phase = 2 * np.pi * t / (24 * 60)
+    diurnal = 1.0 + 0.65 * np.sin(day_phase - np.pi / 2) + 0.25 * np.sin(2 * day_phase)
+    diurnal = np.clip(diurnal, 0.12, None)
+
+    # Minute-level multiplicative bursts with occasional large spikes.
+    noise = rng.lognormal(mean=0.0, sigma=0.35 * burstiness, size=minutes)
+    spikes = np.ones(minutes)
+    n_spikes = max(1, minutes // 180)
+    spike_at = rng.choice(minutes, size=n_spikes, replace=False)
+    spikes[spike_at] = rng.uniform(4.0, 9.0, size=n_spikes) * burstiness
+    rates = diurnal * noise * spikes
+
+    # The paper reports peak loads "up to 25x" the off-peak minimum (Fig. 2b);
+    # floor the trough so the ratio lands there instead of diverging.
+    rates = np.maximum(rates, rates.max() / 25.0)
+    rates = rates / rates.mean() * mean_rps
+    return ArrivalTrace(bucket_seconds=60.0, rates_per_second=rates)
+
+
+def evaluation_trace(duration_minutes: float = 30.0, mean_rps: float = 1.0,
+                     seed: int = 0) -> ArrivalTrace:
+    """The 30-minute evaluation window of Fig. 22: bursty, half-minute buckets.
+
+    The paper replays a 30-minute slice of the Microsoft trace whose
+    half-minute arrival counts swing between near-zero and ~80 requests.
+    """
+    rng = make_rng(stable_hash("eval-trace", seed))
+    buckets = int(round(duration_minutes * 2))  # 30-second buckets
+    base = rng.lognormal(mean=0.0, sigma=0.7, size=buckets)
+    # A couple of pronounced bursts, as visible in Fig. 22.
+    n_bursts = max(1, buckets // 12)
+    at = rng.choice(buckets, size=n_bursts, replace=False)
+    base[at] *= rng.uniform(3.0, 6.0, size=n_bursts)
+    rates = base / base.mean() * mean_rps
+    return ArrivalTrace(bucket_seconds=30.0, rates_per_second=rates)

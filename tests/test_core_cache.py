@@ -1,0 +1,114 @@
+"""Unit tests for Example and ExampleCache."""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import ExampleCache
+from repro.core.example import Example
+
+from tests.conftest import make_request
+
+
+def make_example(example_id="ex-0", quality=0.8, dim=64, direction=0,
+                 text="historical request text"):
+    emb = np.zeros(dim)
+    emb[direction % dim] = 1.0
+    request = make_request(request_id=f"req-{example_id}", topic_latent=emb,
+                           text=text)
+    return Example(
+        example_id=example_id,
+        request=request,
+        response_text="historical response " + "w " * 20,
+        embedding=emb,
+        quality=quality,
+        source_model="gemma-2-27b",
+        source_cost=1.0,
+    )
+
+
+class TestExample:
+    def test_quality_validated(self):
+        with pytest.raises(ValueError):
+            make_example(quality=1.5)
+
+    def test_tokens_cover_request_and_response(self):
+        ex = make_example()
+        assert ex.tokens > 0
+        assert ex.tokens >= ex.request.prompt_tokens
+
+    def test_plaintext_bytes(self):
+        ex = make_example()
+        expected = (len(ex.request.text.encode()) +
+                    len(ex.response_text.encode()))
+        assert ex.plaintext_bytes == expected
+
+    def test_view_carries_latent_and_quality(self):
+        ex = make_example(quality=0.7)
+        view = ex.view()
+        assert view.quality == 0.7
+        assert np.allclose(view.latent, ex.request.latent)
+        assert view.tokens == ex.tokens
+
+    def test_record_access(self):
+        ex = make_example()
+        ex.record_access()
+        ex.record_access()
+        assert ex.access_count == 2
+
+
+class TestExampleCache:
+    def test_add_get_len(self):
+        cache = ExampleCache(dim=64)
+        ex = make_example()
+        cache.add(ex)
+        assert len(cache) == 1
+        assert cache.get("ex-0") is ex
+        assert "ex-0" in cache
+
+    def test_duplicate_id_rejected(self):
+        cache = ExampleCache(dim=64)
+        cache.add(make_example())
+        with pytest.raises(KeyError):
+            cache.add(make_example())
+
+    def test_remove(self):
+        cache = ExampleCache(dim=64)
+        cache.add(make_example())
+        removed = cache.remove("ex-0")
+        assert removed.example_id == "ex-0"
+        assert len(cache) == 0
+        with pytest.raises(KeyError):
+            cache.remove("ex-0")
+
+    def test_search_returns_most_relevant(self):
+        cache = ExampleCache(dim=64)
+        for i in range(5):
+            cache.add(make_example(example_id=f"ex-{i}", direction=i))
+        query = np.zeros(64)
+        query[2] = 1.0
+        results = cache.search(query, k=1)
+        assert results[0][0].example_id == "ex-2"
+        assert results[0][1] == pytest.approx(1.0)
+
+    def test_nearest_similarity_empty_cache(self):
+        cache = ExampleCache(dim=64)
+        assert cache.nearest_similarity(np.ones(64)) == 0.0
+
+    def test_total_bytes_accumulates(self):
+        cache = ExampleCache(dim=64)
+        exs = [make_example(example_id=f"ex-{i}", direction=i) for i in range(3)]
+        for ex in exs:
+            cache.add(ex)
+        assert cache.total_bytes == sum(e.plaintext_bytes for e in exs)
+
+    def test_iteration(self):
+        cache = ExampleCache(dim=64)
+        for i in range(4):
+            cache.add(make_example(example_id=f"ex-{i}", direction=i))
+        assert {e.example_id for e in cache} == {f"ex-{i}" for i in range(4)}
+
+    def test_matching_cost_small_pool_is_linear(self):
+        cache = ExampleCache(dim=64)
+        for i in range(10):
+            cache.add(make_example(example_id=f"ex-{i}", direction=i))
+        assert cache.matching_cost() == pytest.approx(10.0)

@@ -1,0 +1,116 @@
+"""Unit tests for distribution drift (section 8) and the bias autoscaler
+(section 4.2's auto-scaling signal)."""
+
+import numpy as np
+import pytest
+
+from repro.serving.autoscaler import BiasAutoscaler
+from repro.workload.datasets import SyntheticDataset
+from repro.workload.drift import DriftingWorkload
+
+
+class TestDriftingWorkload:
+    def setup_method(self):
+        self.dataset = SyntheticDataset("ms_marco", scale=0.001, seed=5)
+        self.drift = DriftingWorkload(self.dataset, novel_topic_fraction=0.3,
+                                      seed=5)
+
+    def test_phase_zero_avoids_novel_topics(self):
+        reqs = self.drift.requests_at_phase(200, phase=0.0)
+        assert all(r.topic_id not in self.drift.novel_topics for r in reqs)
+
+    def test_phase_one_introduces_novel_topics(self):
+        reqs = self.drift.requests_at_phase(300, phase=1.0)
+        novel_share = np.mean([
+            r.topic_id in self.drift.novel_topics for r in reqs
+        ])
+        assert 0.15 <= novel_share <= 0.45  # ~novel_topic_fraction
+
+    def test_novel_share_monotone_in_phase(self):
+        shares = []
+        for phase in (0.0, 0.5, 1.0):
+            reqs = self.drift.requests_at_phase(300, phase=phase)
+            shares.append(np.mean([
+                r.topic_id in self.drift.novel_topics for r in reqs
+            ]))
+        assert shares[0] <= shares[1] <= shares[2]
+
+    def test_requests_remain_valid(self):
+        for request in self.drift.requests_at_phase(50, phase=0.7):
+            assert 0.0 <= request.difficulty <= 1.0
+            assert request.prompt_tokens > 0
+            assert np.linalg.norm(request.latent) == pytest.approx(1.0)
+
+    def test_invalid_phase(self):
+        with pytest.raises(ValueError):
+            self.drift.requests_at_phase(10, phase=1.5)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            DriftingWorkload(self.dataset, novel_topic_fraction=1.5)
+
+
+class TestBiasAutoscaler:
+    def test_sustained_bias_scales_up(self):
+        scaler = BiasAutoscaler(cooldown_steps=0)
+        decisions = [scaler.observe(bias=1.5, utilization=0.9)
+                     for _ in range(10)]
+        assert any(d.action == "scale_up" for d in decisions)
+        assert scaler.net_replicas_delta > 0
+
+    def test_idle_cluster_scales_down(self):
+        scaler = BiasAutoscaler(cooldown_steps=0)
+        decisions = [scaler.observe(bias=0.0, utilization=0.1)
+                     for _ in range(10)]
+        assert any(d.action == "scale_down" for d in decisions)
+        assert scaler.net_replicas_delta < 0
+
+    def test_hysteresis_band_holds(self):
+        # Bias between the two thresholds with busy cluster: do nothing.
+        scaler = BiasAutoscaler(scale_up_bias=0.5, scale_down_bias=0.05)
+        decisions = [scaler.observe(bias=0.2, utilization=0.8)
+                     for _ in range(10)]
+        assert all(d.action == "hold" for d in decisions)
+
+    def test_cooldown_spaces_actions(self):
+        scaler = BiasAutoscaler(cooldown_steps=5)
+        actions = [scaler.observe(bias=2.0, utilization=1.0).action
+                   for _ in range(12)]
+        scale_ups = [i for i, a in enumerate(actions) if a == "scale_up"]
+        assert len(scale_ups) >= 2
+        assert scale_ups[1] - scale_ups[0] >= 5
+
+    def test_transient_spike_is_smoothed(self):
+        # One spike inside a calm stream must not trigger scaling, thanks to
+        # the EMA (that is the point of "persistent magnitude").
+        scaler = BiasAutoscaler(cooldown_steps=0, ema_alpha=0.1)
+        for _ in range(5):
+            scaler.observe(bias=0.1, utilization=0.6)
+        decision = scaler.observe(bias=3.0, utilization=0.6)
+        assert decision.action == "hold"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BiasAutoscaler(scale_up_bias=0.1, scale_down_bias=0.2)
+        with pytest.raises(ValueError):
+            BiasAutoscaler(max_step=0)
+        scaler = BiasAutoscaler()
+        with pytest.raises(ValueError):
+            scaler.observe(bias=-1.0, utilization=0.5)
+
+
+class TestRouterBiasSignal:
+    def test_current_bias_tracks_overload(self):
+        from repro.core.config import RouterConfig
+        from repro.core.router import BanditRouter, RouterArm
+
+        router = BanditRouter(
+            arms=[RouterArm("s", 0.1), RouterArm("l", 1.0)],
+            config=RouterConfig(load_threshold=0.7),
+        )
+        for _ in range(20):
+            router.observe_load(0.2)
+        assert router.current_bias() == 0.0
+        for _ in range(50):
+            router.observe_load(2.0)
+        assert router.current_bias() > 1.0

@@ -1,0 +1,72 @@
+"""Unit tests for the appendix-A.4 preprocessing pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.workload.preprocess import deduplicate, filter_non_english, preprocess
+
+from tests.conftest import make_request
+
+
+def unit_dir(i, dim=64):
+    v = np.zeros(dim)
+    v[i] = 1.0
+    return v
+
+
+class TestLanguageFilter:
+    def test_default_language_kept(self):
+        reqs = [make_request(request_id="a")]
+        assert filter_non_english(reqs) == reqs
+
+    def test_non_english_dropped(self):
+        keep = make_request(request_id="en")
+        drop = make_request(request_id="zh")
+        drop.metadata["language"] = "zh"
+        tagged = make_request(request_id="en-GB")
+        tagged.metadata["language"] = "en-GB"
+        assert filter_non_english([keep, drop, tagged]) == [keep, tagged]
+
+
+class TestDeduplicate:
+    def test_exact_duplicates_dropped(self):
+        a = make_request(request_id="a", topic_latent=unit_dir(0))
+        b = make_request(request_id="b", topic_latent=unit_dir(0))
+        kept = deduplicate([a, b])
+        assert kept == [a]  # first occurrence wins
+
+    def test_distinct_requests_kept(self):
+        reqs = [make_request(request_id=f"r{i}", topic_latent=unit_dir(i))
+                for i in range(5)]
+        assert len(deduplicate(reqs)) == 5
+
+    def test_threshold_controls_aggressiveness(self):
+        base = unit_dir(0)
+        near = base + 0.25 * unit_dir(1)
+        near = near / np.linalg.norm(near)
+        a = make_request(request_id="a", topic_latent=base)
+        b = make_request(request_id="b", topic_latent=near)
+        assert len(deduplicate([a, b], threshold=0.999)) == 2
+        assert len(deduplicate([a, b], threshold=0.9)) == 1
+
+    def test_empty_input(self):
+        assert deduplicate([]) == []
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            deduplicate([make_request()], threshold=0.0)
+
+    def test_embedding_length_mismatch(self):
+        with pytest.raises(ValueError):
+            deduplicate([make_request()], embeddings=np.ones((2, 64)))
+
+    def test_synthetic_dataset_has_low_duplicate_rate_after_preprocess(self):
+        from repro.workload.datasets import SyntheticDataset
+
+        dataset = SyntheticDataset("ms_marco", scale=0.0005, seed=4)
+        reqs = dataset.online_requests(200)
+        kept = preprocess(reqs, dedupe_threshold=0.995)
+        # The generator produces distinct phrasings; near-exact collisions
+        # are rare but preprocessing must be a no-op-or-shrink operation.
+        assert len(kept) <= len(reqs)
+        assert len(kept) >= 0.5 * len(reqs)

@@ -1,0 +1,58 @@
+"""Unit tests for the appendix-A.1 prompt templates."""
+
+import pytest
+
+from repro.llm.prompts import (
+    AUTORATER_SYSTEM_PROMPT,
+    build_prompt,
+    prompt_tokens,
+    render_example_block,
+    template_overhead_tokens,
+)
+
+
+class TestBuildPrompt:
+    def test_without_examples_uses_short_template(self):
+        prompt = build_prompt("translate this sentence")
+        assert "translate this sentence" in prompt
+        assert "Below are examples" not in prompt
+
+    def test_with_examples_embeds_blocks(self):
+        prompt = build_prompt("solve x", [("old question", "old answer")])
+        assert "old question" in prompt
+        assert "old answer" in prompt
+        assert "Below are examples" in prompt
+
+    def test_instruction_repeated_in_ic_template(self):
+        # Fig. 24's template states the instruction before and after the
+        # example block.
+        prompt = build_prompt("unique-marker-xyz", [("q", "a")])
+        assert prompt.count("unique-marker-xyz") == 2
+
+    def test_example_block_format(self):
+        block = render_example_block("req", "resp")
+        assert "### Instruction:" in block
+        assert "### Response:" in block
+
+
+class TestTokenAccounting:
+    def test_ic_prompt_longer(self):
+        short = prompt_tokens("a question")
+        long = prompt_tokens("a question", [("x " * 50, "y " * 50)])
+        assert long > short + 100
+
+    def test_template_overhead_positive_constant(self):
+        overhead = template_overhead_tokens()
+        assert overhead > 50  # the Fig. 24 guidance text is substantial
+        assert overhead == template_overhead_tokens()  # deterministic
+
+    def test_tokens_scale_with_examples(self):
+        one = prompt_tokens("q", [("e1", "r1")])
+        three = prompt_tokens("q", [("e1", "r1"), ("e2", "r2"), ("e3", "r3")])
+        assert three > one
+
+
+class TestAutoraterPrompt:
+    def test_seven_point_scale_documented(self):
+        for token in ("-3", "3", "impartial judge"):
+            assert token in AUTORATER_SYSTEM_PROMPT

@@ -1,0 +1,191 @@
+"""Unit tests for the discrete-event serving simulator."""
+
+import numpy as np
+import pytest
+
+from repro.llm.zoo import get_model
+from repro.serving.cluster import ClusterConfig, ClusterSimulator, ModelDeployment
+from repro.serving.metrics import mean_latency_fn, offload_ratio_fn, windowed_series
+from repro.serving.records import ServedRequest, ServingReport
+
+from tests.conftest import make_request
+
+
+def record(request_id="r", model="m", arrival=0.0, start=0.0, finish=1.0,
+           ttft=0.1, quality=0.5):
+    return ServedRequest(
+        request_id=request_id, model_name=model, arrival_s=arrival,
+        start_s=start, finish_s=finish, ttft_s=ttft, quality=quality,
+        prompt_tokens=10, output_tokens=20, n_examples=0, cost=0.01,
+    )
+
+
+def small_cluster(replicas_small=2, replicas_large=1, budget=None):
+    return ClusterSimulator(ClusterConfig(
+        deployments=[
+            ModelDeployment(get_model("gemma-2-2b"), replicas=replicas_small),
+            ModelDeployment(get_model("gemma-2-27b"), replicas=replicas_large),
+        ],
+        gpu_budget=budget,
+    ))
+
+
+def always(model_name):
+    def router(request, sim):
+        return model_name, []
+    return router
+
+
+class TestServedRequest:
+    def test_derived_latencies(self):
+        r = record(arrival=1.0, start=3.0, finish=10.0, ttft=0.5)
+        assert r.queue_wait_s == pytest.approx(2.0)
+        assert r.e2e_latency_s == pytest.approx(9.0)
+        assert r.observed_ttft_s == pytest.approx(2.5)
+
+
+class TestServingReport:
+    def test_empty(self):
+        report = ServingReport()
+        assert report.n == 0
+        assert report.throughput_rps == 0.0
+        assert report.offload_ratio({"m"}) == 0.0
+
+    def test_throughput(self):
+        report = ServingReport(records=[
+            record(request_id=f"r{i}", arrival=float(i), finish=float(i) + 1.0)
+            for i in range(10)
+        ])
+        assert report.throughput_rps == pytest.approx(10 / 10.0)
+
+    def test_offload_ratio_and_split(self):
+        report = ServingReport(records=[
+            record(request_id="a", model="small"),
+            record(request_id="b", model="small"),
+            record(request_id="c", model="large"),
+        ])
+        assert report.offload_ratio({"small"}) == pytest.approx(2 / 3)
+        split = report.by_model()
+        assert split["small"].n == 2 and split["large"].n == 1
+
+
+class TestClusterConfig:
+    def test_gpu_budget_enforced(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(
+                deployments=[
+                    ModelDeployment(get_model("gemma-2-27b"), replicas=3),
+                ],
+                gpu_budget=16,   # 3 * 8 GPUs = 24 > 16
+            )
+
+    def test_duplicate_models_rejected(self):
+        model = get_model("gemma-2-2b")
+        with pytest.raises(ValueError):
+            ClusterConfig(deployments=[
+                ModelDeployment(model, 1), ModelDeployment(model, 1),
+            ], gpu_budget=None)
+
+    def test_replicas_validated(self):
+        with pytest.raises(ValueError):
+            ModelDeployment(get_model("gemma-2-2b"), replicas=0)
+
+
+class TestClusterSimulator:
+    def test_single_request_latency_is_service_time(self):
+        sim = small_cluster()
+        req = make_request()
+        report = sim.run([(0.0, req)], always("gemma-2-2b"))
+        assert report.n == 1
+        rec = report.records[0]
+        assert rec.queue_wait_s == pytest.approx(0.0)
+        assert rec.e2e_latency_s == pytest.approx(rec.ttft_s + (rec.finish_s - rec.start_s - rec.ttft_s))
+
+    def test_all_requests_complete(self):
+        sim = small_cluster()
+        arrivals = [(i * 0.1, make_request(request_id=f"r{i}")) for i in range(50)]
+        report = sim.run(arrivals, always("gemma-2-2b"))
+        assert report.n == 50
+        assert len({r.request_id for r in report.records}) == 50
+
+    def test_queueing_under_burst(self):
+        # One large replica with limited slots: a burst must queue.
+        sim = ClusterSimulator(ClusterConfig(
+            deployments=[ModelDeployment(get_model("gemma-2-27b"), replicas=1)],
+            gpu_budget=None,
+        ))
+        arrivals = [(0.0, make_request(request_id=f"r{i}")) for i in range(30)]
+        report = sim.run(arrivals, always("gemma-2-27b"))
+        waits = [r.queue_wait_s for r in report.records]
+        assert max(waits) > 0.0
+
+    def test_more_replicas_reduce_latency(self):
+        arrivals = [(i * 0.05, make_request(request_id=f"r{i}")) for i in range(100)]
+        few = small_cluster(replicas_small=1).run(
+            [(t, r) for t, r in arrivals], always("gemma-2-2b")
+        )
+        many = small_cluster(replicas_small=8).run(
+            [(t, r) for t, r in arrivals], always("gemma-2-2b")
+        )
+        assert many.latency_summary().p99 <= few.latency_summary().p99
+
+    def test_load_signal_visible_to_router(self):
+        sim = small_cluster(replicas_small=1)
+        seen_loads = []
+
+        def router(request, s):
+            seen_loads.append(s.total_load())
+            return "gemma-2-2b", []
+
+        arrivals = [(0.0, make_request(request_id=f"r{i}")) for i in range(40)]
+        sim.run(arrivals, router)
+        assert seen_loads[0] == 0.0
+        assert max(seen_loads) > 0.5
+
+    def test_on_complete_callback_order(self):
+        sim = small_cluster()
+        finished = []
+        arrivals = [(i * 0.2, make_request(request_id=f"r{i}")) for i in range(10)]
+        sim.run(arrivals, always("gemma-2-2b"),
+                on_complete=lambda req, rec: finished.append(rec.finish_s))
+        assert finished == sorted(finished)
+        assert len(finished) == 10
+
+    def test_unknown_model_raises(self):
+        sim = small_cluster()
+        with pytest.raises(KeyError):
+            sim.run([(0.0, make_request())], always("nonexistent-model"))
+
+    def test_total_gpus(self):
+        sim = small_cluster(replicas_small=2, replicas_large=1)
+        assert sim.total_gpus() == 2 * 1 + 1 * 8
+
+
+class TestWindowedSeries:
+    def test_values_bucketed_by_arrival(self):
+        report = ServingReport(records=[
+            record(request_id="a", model="s", arrival=10.0),
+            record(request_id="b", model="l", arrival=70.0),
+            record(request_id="c", model="s", arrival=75.0),
+        ])
+        series = windowed_series(report, 60.0, offload_ratio_fn({"s"}))
+        assert series.values[0] == pytest.approx(1.0)
+        assert series.values[1] == pytest.approx(0.5)
+
+    def test_empty_windows_are_nan(self):
+        report = ServingReport(records=[
+            record(request_id="a", arrival=0.0),
+            record(request_id="b", arrival=125.0),
+        ])
+        series = windowed_series(report, 60.0, mean_latency_fn)
+        assert np.isnan(series.values[1])
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            windowed_series(ServingReport(), 0.0, mean_latency_fn)
+
+    def test_by_finish(self):
+        report = ServingReport(records=[record(arrival=0.0, finish=100.0)])
+        by_finish = windowed_series(report, 60.0, mean_latency_fn, by="finish")
+        assert len(by_finish.values) == 2
+        assert np.isnan(by_finish.values[0])

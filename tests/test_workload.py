@@ -1,0 +1,268 @@
+"""Unit tests for repro.workload (topics, datasets, traces, feedback)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.embedding.similarity import cosine_similarity, cosine_similarity_matrix
+from repro.workload.datasets import DATASET_PROFILES, SyntheticDataset, get_profile
+from repro.workload.feedback import FeedbackSimulator
+from repro.workload.request import Request, TaskType
+from repro.workload.topics import TopicModel
+from repro.workload.trace import ArrivalTrace, azure_like_trace, evaluation_trace
+
+from tests.conftest import make_request
+
+
+class TestRequest:
+    def test_difficulty_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            make_request(difficulty=1.5)
+
+    def test_prompt_tokens_computed_from_text(self):
+        req = make_request(text="one two three four")
+        assert req.prompt_tokens >= 4
+
+    def test_observable_difficulty_deterministic(self):
+        req = make_request(difficulty=0.6)
+        assert req.observable_difficulty() == req.observable_difficulty()
+
+    def test_observable_difficulty_near_truth(self):
+        reqs = [make_request(request_id=f"r{i}", difficulty=0.5) for i in range(200)]
+        errors = [abs(r.observable_difficulty() - 0.5) for r in reqs]
+        assert np.mean(errors) < 0.1
+
+    def test_observable_difficulty_clipped(self):
+        req = make_request(difficulty=0.0)
+        assert 0.0 <= req.observable_difficulty(noise=0.5) <= 1.0
+
+    def test_plaintext_bytes(self):
+        req = make_request(text="abcd")
+        assert req.plaintext_bytes == 4
+
+
+class TestTopicModel:
+    def test_same_topic_similarity_high(self):
+        topics = TopicModel(n_topics=20, dim=64, jitter=0.28, seed=0)
+        rng = np.random.default_rng(0)
+        a = topics.sample_latent(3, rng)
+        b = topics.sample_latent(3, rng)
+        assert cosine_similarity(a, b, rescaled=True) > 0.8
+
+    def test_cross_topic_similarity_low(self):
+        topics = TopicModel(n_topics=50, dim=64, seed=0)
+        rng = np.random.default_rng(0)
+        sims = [
+            cosine_similarity(
+                topics.sample_latent(i, rng), topics.sample_latent(i + 1, rng),
+                rescaled=True,
+            )
+            for i in range(0, 40, 2)
+        ]
+        assert np.mean(sims) < 0.65
+
+    def test_popularity_is_distribution(self):
+        topics = TopicModel(n_topics=30, seed=1)
+        probs = topics.popularity
+        assert probs.shape == (30,)
+        assert probs.sum() == pytest.approx(1.0)
+        assert (probs > 0).all()
+
+    def test_zipf_skew(self):
+        topics = TopicModel(n_topics=100, zipf_exponent=1.2, seed=2)
+        probs = np.sort(topics.popularity)[::-1]
+        # Head topics dominate: top 10% of topics carry > 40% of mass.
+        assert probs[:10].sum() > 0.4
+
+    def test_sample_topic_respects_popularity(self):
+        topics = TopicModel(n_topics=10, zipf_exponent=1.5, seed=3)
+        rng = np.random.default_rng(0)
+        counts = np.zeros(10)
+        for _ in range(2000):
+            counts[topics.sample_topic(rng)] += 1
+        empirical = counts / counts.sum()
+        assert np.abs(empirical - topics.popularity).max() < 0.05
+
+    def test_latents_unit_norm(self):
+        topics = TopicModel(n_topics=5, seed=4)
+        rng = np.random.default_rng(1)
+        for t in range(5):
+            assert np.linalg.norm(topics.sample_latent(t, rng)) == pytest.approx(1.0)
+
+    def test_difficulty_in_range(self):
+        topics = TopicModel(n_topics=5, seed=5)
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            d = topics.sample_difficulty(2, rng)
+            assert 0.0 <= d <= 1.0
+
+    def test_topic_out_of_range(self):
+        topics = TopicModel(n_topics=5, seed=6)
+        with pytest.raises(IndexError):
+            topics.base_vector(5)
+
+    def test_render_text_tags_topic(self):
+        topics = TopicModel(n_topics=5, seed=7)
+        rng = np.random.default_rng(0)
+        text = topics.render_text(2, rng, n_words=10, prefix="qa")
+        assert "[topic-2]" in text
+        assert text.startswith("qa ")
+
+
+class TestDatasetProfiles:
+    def test_all_paper_datasets_present(self):
+        for name in ("alpaca", "lmsys_chat", "open_orca", "ms_marco",
+                     "natural_questions", "wmt16", "nl2bash", "math500"):
+            assert name in DATASET_PROFILES
+
+    def test_table1_counts(self):
+        assert get_profile("ms_marco").example_size == 808_731
+        assert get_profile("lmsys_chat").request_size == 15_170
+        assert get_profile("math500").example_size == 7_500
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(KeyError):
+            get_profile("imagenet")
+
+
+class TestSyntheticDataset:
+    def test_counts_scale(self):
+        ds = SyntheticDataset("nl2bash", scale=0.5, seed=0)
+        assert ds.example_count == pytest.approx(8090 * 0.5, rel=0.01)
+
+    def test_generates_requested_count(self):
+        ds = SyntheticDataset("alpaca", scale=0.01, seed=0)
+        assert len(ds.online_requests(37)) == 37
+
+    def test_request_fields_valid(self):
+        ds = SyntheticDataset("math500", scale=0.01, seed=0)
+        for req in ds.online_requests(20):
+            assert req.dataset == "math500"
+            assert req.task == TaskType.MATH_REASONING
+            assert 0.0 <= req.difficulty <= 1.0
+            assert req.prompt_tokens > 0
+            assert req.target_output_tokens > 0
+            assert np.linalg.norm(req.latent) == pytest.approx(1.0)
+
+    def test_request_ids_unique_across_calls(self):
+        ds = SyntheticDataset("alpaca", scale=0.01, seed=0)
+        ids = [r.request_id for r in ds.online_requests(50)]
+        ids += [r.request_id for r in ds.online_requests(50)]
+        assert len(set(ids)) == len(ids)
+
+    def test_pervasive_similarity_matches_fig3a(self):
+        # >70% of requests should have a >=0.8-similar neighbour (Fig. 3a).
+        ds = SyntheticDataset("ms_marco", scale=0.002, seed=1)
+        reqs = ds.online_requests(200)
+        latents = np.stack([r.latent for r in reqs])
+        sims = cosine_similarity_matrix(latents, latents, rescaled=True)
+        np.fill_diagonal(sims, -1.0)
+        frac = (sims.max(axis=1) >= 0.8).mean()
+        assert frac > 0.7
+
+    def test_difficulty_mean_tracks_profile(self):
+        hard = SyntheticDataset("math500", scale=0.02, seed=2)
+        easy = SyntheticDataset("ms_marco", scale=0.0005, seed=2)
+        hard_mean = np.mean([r.difficulty for r in hard.online_requests(200)])
+        easy_mean = np.mean([r.difficulty for r in easy.online_requests(200)])
+        assert hard_mean > easy_mean + 0.15
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            SyntheticDataset("alpaca", scale=0.0)
+
+
+class TestArrivalTrace:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArrivalTrace(bucket_seconds=0, rates_per_second=np.ones(5))
+        with pytest.raises(ValueError):
+            ArrivalTrace(bucket_seconds=60, rates_per_second=np.array([-1.0]))
+
+    def test_duration_and_expected_total(self):
+        trace = ArrivalTrace(bucket_seconds=30, rates_per_second=np.array([1.0, 2.0]))
+        assert trace.duration_seconds == 60
+        assert trace.total_expected_requests == pytest.approx(90.0)
+
+    def test_scaled_to_preserves_shape(self):
+        trace = ArrivalTrace(bucket_seconds=60, rates_per_second=np.array([1.0, 3.0]))
+        scaled = trace.scaled_to(4.0)
+        assert scaled.rates_per_second.mean() == pytest.approx(4.0)
+        assert scaled.peak_to_trough() == pytest.approx(trace.peak_to_trough())
+
+    def test_arrival_times_sorted_and_within_range(self):
+        trace = azure_like_trace(duration_hours=1.0, mean_rps=2.0, seed=0)
+        times = trace.arrival_times(seed=1)
+        assert (np.diff(times) >= 0).all()
+        assert times.min() >= 0
+        assert times.max() <= trace.duration_seconds
+
+    def test_arrival_count_near_expectation(self):
+        trace = azure_like_trace(duration_hours=2.0, mean_rps=3.0, seed=0)
+        times = trace.arrival_times(seed=2)
+        assert len(times) == pytest.approx(trace.total_expected_requests, rel=0.1)
+
+    def test_azure_peak_to_trough_near_25x(self):
+        for seed in range(3):
+            trace = azure_like_trace(duration_hours=42, mean_rps=2.0, seed=seed)
+            assert 15.0 <= trace.peak_to_trough() <= 26.0
+
+    def test_azure_diurnal_structure(self):
+        trace = azure_like_trace(duration_hours=24, mean_rps=2.0, seed=1)
+        rates = trace.rates_per_second
+        # Overnight trough (first ~6h, phase at sin minimum) below daily mean.
+        assert rates[:180].mean() < rates.mean()
+
+    def test_evaluation_trace_shape(self):
+        trace = evaluation_trace(duration_minutes=30, mean_rps=1.0, seed=0)
+        assert trace.duration_seconds == pytest.approx(1800)
+        assert trace.bucket_seconds == 30.0
+        assert trace.rates_per_second.mean() == pytest.approx(1.0)
+
+
+class TestFeedbackSimulator:
+    def test_thumbs_tracks_quality(self):
+        fb = FeedbackSimulator(seed=0)
+        ups_good = sum(fb.thumbs(0.9) for _ in range(200))
+        ups_bad = sum(fb.thumbs(0.1) for _ in range(200))
+        assert ups_good > 180
+        assert ups_bad < 20
+
+    def test_rating_bounded(self):
+        fb = FeedbackSimulator(rating_noise=0.5, seed=1)
+        for q in (0.0, 0.5, 1.0):
+            for _ in range(50):
+                assert 0.0 <= fb.rating(q) <= 1.0
+
+    def test_preference_prefers_better(self):
+        fb = FeedbackSimulator(seed=2)
+        prefers_a = sum(
+            1 for _ in range(300) if fb.preference(0.8, 0.3).preferred == 0
+        )
+        assert prefers_a > 280
+
+    def test_preference_confidence_at_parity(self):
+        fb = FeedbackSimulator(seed=3)
+        pref = fb.preference(0.5, 0.5)
+        assert pref.confidence == pytest.approx(0.5, abs=0.01)
+
+    def test_spawn_streams_independent(self):
+        fb = FeedbackSimulator(seed=4)
+        a = fb.spawn("a")
+        b = fb.spawn("b")
+        seq_a = [a.rating(0.5) for _ in range(5)]
+        seq_b = [b.rating(0.5) for _ in range(5)]
+        assert seq_a != seq_b
+
+    def test_invalid_noise(self):
+        with pytest.raises(ValueError):
+            FeedbackSimulator(rating_noise=-0.1)
+        with pytest.raises(ValueError):
+            FeedbackSimulator(preference_noise=0.0)
+
+    @given(st.floats(min_value=0, max_value=1), st.floats(min_value=0, max_value=1))
+    @settings(max_examples=30, deadline=None)
+    def test_preference_confidence_bounds(self, qa, qb):
+        pref = FeedbackSimulator(seed=5).preference(qa, qb)
+        assert 0.5 <= pref.confidence <= 1.0
+        assert pref.preferred in (0, 1)
