@@ -12,7 +12,7 @@ from repro.core.config import (
     SelectorConfig,
 )
 from repro.core.example import Example
-from repro.core.cache import ExampleCache
+from repro.core.cache import ExampleCache, ShardedExampleCache
 from repro.core.proxy import HelpfulnessProxy
 from repro.core.selector import ExampleSelector, ScoredExample
 from repro.core.router import BanditRouter, RouterArm, RoutingChoice
@@ -28,6 +28,7 @@ __all__ = [
     "SelectorConfig",
     "Example",
     "ExampleCache",
+    "ShardedExampleCache",
     "HelpfulnessProxy",
     "ExampleSelector",
     "ScoredExample",

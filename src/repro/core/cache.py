@@ -4,22 +4,43 @@ Stage 1 of the selector searches this cache through an IVF index with
 K = sqrt(N) clusters (section 4.1).  The cache itself is model-agnostic plain
 text (section 4.3: "plaintext caching offers low memory consumption ... and
 facilitates broader reuse across different models").
+
+Two layouts are provided:
+
+* :class:`ExampleCache` — one monolithic IVF index; right for a single
+  retriever replica and small-to-medium pools.
+* :class:`ShardedExampleCache` — examples hash-partitioned across S IVF
+  shards with fan-out search (the production layout of section 5's FAISS
+  deployment note); pair it with the batched serving engine in
+  :mod:`repro.serving.engine`.
 """
 
 from __future__ import annotations
+
+from typing import Callable
 
 import numpy as np
 
 from repro.core.example import Example
 from repro.vectorstore.ivf import IVFIndex
+from repro.vectorstore.sharded import ShardedIndex
 
 
 class ExampleCache:
-    """Keyed example store with approximate nearest-neighbour retrieval."""
+    """Keyed example store with approximate nearest-neighbour retrieval.
 
-    def __init__(self, dim: int, nprobe: int = 2, seed: int = 0) -> None:
+    The retrieval substrate of the Example Selector (section 4.1): holds the
+    plaintext request-response pairs of section 4.3 and answers top-k
+    relevance queries, one at a time (:meth:`search`) or for a whole
+    micro-batch in vectorized form (:meth:`search_batch`).
+    """
+
+    def __init__(self, dim: int, nprobe: int = 2, seed: int = 0,
+                 index: IVFIndex | ShardedIndex | None = None) -> None:
         self._examples: dict[str, Example] = {}
-        self._index = IVFIndex(dim=dim, nprobe=nprobe, seed=seed)
+        # `is None` matters: a freshly built index is empty, hence falsy.
+        self._index = index if index is not None \
+            else IVFIndex(dim=dim, nprobe=nprobe, seed=seed)
 
     def __len__(self) -> int:
         return len(self._examples)
@@ -55,6 +76,19 @@ class ExampleCache:
         hits = self._index.search(embedding, k)
         return [(self._examples[hit.key], hit.score) for hit in hits]
 
+    def search_batch(self, embeddings: np.ndarray,
+                     k: int) -> list[list[tuple[Example, float]]]:
+        """Top-k pairs for a micro-batch of request embeddings at once.
+
+        One vectorized index pass for the whole batch; the amortization the
+        batched serving engine (:mod:`repro.serving.engine`) relies on.
+        """
+        batches = self._index.search_batch(embeddings, k)
+        return [
+            [(self._examples[hit.key], hit.score) for hit in hits]
+            for hits in batches
+        ]
+
     def nearest_similarity(self, embedding: np.ndarray) -> float:
         """Similarity of the closest cached example (0.0 on an empty cache)."""
         hits = self._index.search(embedding, 1)
@@ -66,3 +100,28 @@ class ExampleCache:
 
     def examples(self) -> list[Example]:
         return list(self._examples.values())
+
+
+class ShardedExampleCache(ExampleCache):
+    """Example cache partitioned across ``n_shards`` IVF shards.
+
+    Same interface as :class:`ExampleCache`; retrieval fans out to every
+    shard and merges per-shard top-k by score, so results match the
+    monolithic cache up to each shard's own IVF approximation.  ``shard_fn``
+    optionally keys shard assignment off the example id (e.g. topic-keyed
+    placement); the default is a stable hash.
+    """
+
+    def __init__(self, dim: int, n_shards: int = 4, nprobe: int = 2,
+                 seed: int = 0,
+                 shard_fn: Callable[[object], int] | None = None) -> None:
+        super().__init__(
+            dim,
+            index=ShardedIndex(dim=dim, n_shards=n_shards, nprobe=nprobe,
+                               seed=seed, shard_fn=shard_fn),
+        )
+
+    @property
+    def shard_sizes(self) -> list[int]:
+        """Examples per shard (balance diagnostic)."""
+        return self._index.shard_sizes

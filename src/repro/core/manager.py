@@ -26,7 +26,11 @@ from repro.workload.request import Request
 
 
 class ExampleManager:
-    """Curates the example cache over time."""
+    """Curates the example cache over time (section 4.3).
+
+    Owns the admission, decay, knapsack-eviction, and replay lifecycle of
+    Fig. 5's Example Manager box.
+    """
 
     def __init__(self, cache: ExampleCache, config: ManagerConfig | None = None,
                  clock: SimClock | None = None,

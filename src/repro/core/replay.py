@@ -46,7 +46,13 @@ class ReplayOutcome:
 
 
 class ReplayEngine:
-    """Selects and replays high-gain examples on the teacher model."""
+    """Selects and replays high-gain examples on the teacher model.
+
+    Section 4.3's off-peak refinement loop: examples with high accumulated
+    G(e) are re-generated on the large model (best-of-``replay_samples``),
+    subject to the cost-aware cut-off and the <=5-iteration filter of
+    section 5.
+    """
 
     def __init__(self, teacher: SimulatedLLM,
                  config: ManagerConfig | None = None) -> None:

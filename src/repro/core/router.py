@@ -94,7 +94,12 @@ class RouterArm:
 
 @dataclass
 class RoutingChoice:
-    """Outcome of one routing decision."""
+    """Outcome of one routing decision (section 4.2).
+
+    Carries the arm scores before and after the theorem-4 load bias so
+    benchmarks can decompose *why* a request was (not) offloaded, plus the
+    feedback-solicitation flag of appendix A.2's hybrid scheme.
+    """
 
     model_name: str
     features: np.ndarray
@@ -107,7 +112,13 @@ class RoutingChoice:
 
 
 class BanditRouter:
-    """Contextual Thompson-sampling router with tanh load biasing."""
+    """Contextual Thompson-sampling router with tanh load biasing.
+
+    The Request Router of section 4.2: each arm keeps a Bayesian linear
+    posterior over reward, decisions subtract the load-dependent cost bias
+    of theorem 4 (appendix A.2), and feedback is solicited only on
+    uncertain decisions.
+    """
 
     def __init__(self, arms: list[RouterArm],
                  config: RouterConfig | None = None, seed: int = 0) -> None:

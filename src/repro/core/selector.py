@@ -24,7 +24,11 @@ from repro.embedding.similarity import cosine_similarity
 
 @dataclass
 class ScoredExample:
-    """One selected example with its selection-time scores."""
+    """One selected example with its selection-time scores.
+
+    ``relevance`` is the stage-1 cosine similarity, ``utility`` the stage-2
+    helpfulness-proxy estimate (section 4.1, Algorithm 1 lines 7-13).
+    """
 
     example: Example
     relevance: float
@@ -32,7 +36,12 @@ class ScoredExample:
 
 
 class ExampleSelector:
-    """Selects an example combination for each request."""
+    """Selects an example combination for each request (section 4.1).
+
+    Single-request path: :meth:`select`.  Batched path: :meth:`select_batch`
+    amortizes stage-1 retrieval across a micro-batch for the serving engine
+    while making identical per-request decisions.
+    """
 
     def __init__(self, cache: ExampleCache, proxy: HelpfulnessProxy,
                  config: SelectorConfig | None = None) -> None:
@@ -54,6 +63,26 @@ class ExampleSelector:
         candidates = self._stage1(request_embedding)
         scored = self._stage2(request_embedding, candidates)
         return self._combine(scored)
+
+    def select_batch(self, request_embeddings: np.ndarray
+                     ) -> list[list[ScoredExample]]:
+        """Example combinations for a micro-batch of requests.
+
+        Stage 1 runs as one batched index query (a single vectorized matmul
+        per probed cluster instead of a per-request Python loop); stages 2
+        and 3 are inherently per-request and run exactly as in
+        :meth:`select`, so selections match the looped equivalent.
+        """
+        embeddings = np.atleast_2d(np.asarray(request_embeddings, dtype=float))
+        stage1 = self.cache.search_batch(embeddings, self.config.pre_k)
+        combinations: list[list[ScoredExample]] = []
+        for embedding, candidates in zip(embeddings, stage1):
+            self._requests_seen += 1
+            if self._requests_seen % self.config.adapt_every == 0:
+                self._adapt_threshold()
+            scored = self._stage2(embedding, candidates)
+            combinations.append(self._combine(scored))
+        return combinations
 
     # -- stage 1: relevance pre-selection --------------------------------
 

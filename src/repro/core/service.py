@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.cache import ExampleCache
+from repro.core.cache import ExampleCache, ShardedExampleCache
 from repro.core.config import ICCacheConfig
 from repro.core.example import Example
 from repro.core.manager import ExampleManager
@@ -41,7 +41,13 @@ from repro.workload.request import Request
 
 @dataclass
 class ServeOutcome:
-    """Everything the caller learns about one served request."""
+    """Everything the caller learns about one served request.
+
+    The per-request observables of Algorithm 1: the routing choice
+    (section 4.2), the selected example combination (section 4.1), whether
+    the section-5 fault-tolerance bypass fired, and the example (if any) the
+    manager admitted from this pair (section 4.3).
+    """
 
     request: Request
     result: GenerationResult
@@ -57,7 +63,12 @@ class ServeOutcome:
 
 @dataclass
 class ServiceStats:
-    """Running counters the benchmarks read."""
+    """Running counters the benchmarks read.
+
+    ``offload_ratio`` is the headline quantity of the paper's end-to-end
+    evaluation (section 7.1, Fig. 12): the fraction of traffic IC-Cache
+    diverts from the large reference model to the cheap model.
+    """
 
     served: int = 0
     offloaded: int = 0
@@ -72,7 +83,15 @@ class ServiceStats:
 
 
 class ICCacheService:
-    """Wires the Example Selector, Request Router, and Example Manager."""
+    """Wires the Example Selector, Request Router, and Example Manager.
+
+    The Fig. 5 system: the selector of section 4.1 retrieves an example
+    combination, the bandit router of section 4.2 picks a model under load,
+    and the manager of section 4.3 curates the plaintext cache.  Requests
+    flow through :meth:`serve` one at a time, or through :meth:`serve_batch`
+    /:meth:`cluster_batch_router` when the batched retrieval engine
+    amortizes embedding and stage-1 search across a micro-batch.
+    """
 
     def __init__(self, config: ICCacheConfig | None = None,
                  models: dict[str, SimulatedLLM] | None = None,
@@ -97,7 +116,13 @@ class ICCacheService:
         self.embedder = LatentEmbedder(
             dim=self.config.embedding_dim, noise_scale=self.config.embedder_noise
         )
-        self.cache = ExampleCache(dim=self.config.embedding_dim, seed=seed)
+        if self.config.cache_shards > 1:
+            self.cache = ShardedExampleCache(
+                dim=self.config.embedding_dim,
+                n_shards=self.config.cache_shards, seed=seed,
+            )
+        else:
+            self.cache = ExampleCache(dim=self.config.embedding_dim, seed=seed)
         self.proxy = HelpfulnessProxy()
         self.selector = ExampleSelector(self.cache, self.proxy, self.config.selector)
         self.selector_enabled = selector_enabled
@@ -125,7 +150,10 @@ class ICCacheService:
         )
         self.stats = ServiceStats()
         self._rng = make_rng(stable_hash("service", seed))
-        self._pending: dict[str, tuple[RoutingChoice, list[ScoredExample]]] = {}
+        # request_id -> (choice, examples, embedding), resolved by on_complete.
+        self._pending: dict[
+            str, tuple[RoutingChoice, list[ScoredExample], np.ndarray]
+        ] = {}
 
     # -- cache seeding -----------------------------------------------------
 
@@ -167,7 +195,70 @@ class ICCacheService:
             choice = self._bypass_choice(request)
             bypassed = True
             self.stats.bypasses += 1
+        return self._generate_and_learn(request, embedding, examples, choice,
+                                        bypassed)
 
+    def serve_batch(self, requests: list[Request],
+                    load: float | None = None) -> list[ServeOutcome]:
+        """Serve a micro-batch end-to-end through the batched retrieval path.
+
+        Embedding and stage-1 retrieval are amortized across the batch (one
+        vectorized index pass via :meth:`ExampleSelector.select_batch`), and
+        routing for the whole batch completes before any generation — the
+        micro-batch is decided simultaneously, as on the cluster path.
+        Generation, learning, and admission then run per-request in arrival
+        order, exactly as in :meth:`serve`.  The section-5 fault-tolerance
+        bypass applies at both granularities: a batch-retrieval failure
+        bypasses the whole micro-batch, a per-request routing failure
+        bypasses just that request.
+        """
+        if not requests:
+            return []
+        embeddings = [self.embedder.embed(r.text, r.latent) for r in requests]
+        routed = self._route_batch_with_bypass(requests, embeddings, load)
+        return [
+            self._generate_and_learn(request, embedding, examples, choice,
+                                     bypassed)
+            for request, embedding, (examples, choice, bypassed)
+            in zip(requests, embeddings, routed)
+        ]
+
+    def _route_batch_with_bypass(
+            self, requests: list[Request], embeddings: list[np.ndarray],
+            load: float | None,
+    ) -> list[tuple[list[ScoredExample], RoutingChoice, bool]]:
+        """Batched retrieval + per-request routing with section-5 bypasses.
+
+        A retrieval failure bypasses the whole micro-batch; a routing
+        failure bypasses just that request.  Returns one
+        ``(examples, choice, bypassed)`` triple per request.
+        """
+        try:
+            combos = self._retrieve_batch(embeddings)
+        except Exception:
+            combos = None  # whole-batch retrieval failure
+        routed = []
+        for i, request in enumerate(requests):
+            examples: list[ScoredExample] = []
+            choice = None
+            if combos is not None:
+                try:
+                    examples = combos[i]
+                    choice = self._route(request, examples, load)
+                except Exception:
+                    examples = []
+            bypassed = choice is None
+            if bypassed:
+                choice = self._bypass_choice(request)
+                self.stats.bypasses += 1
+            routed.append((examples, choice, bypassed))
+        return routed
+
+    def _generate_and_learn(self, request: Request, embedding: np.ndarray,
+                            examples: list[ScoredExample],
+                            choice: RoutingChoice,
+                            bypassed: bool) -> ServeOutcome:
+        """Generation + learning + admission shared by serve/serve_batch."""
         model = self.models[choice.model_name]
         offloaded = choice.model_name != self.large_name
         choice.metadata["offloaded"] = offloaded
@@ -202,13 +293,46 @@ class ICCacheService:
                 examples = []
                 choice = self._bypass_choice(request)
                 self.stats.bypasses += 1
-            offloaded = choice.model_name != self.large_name
-            choice.metadata["offloaded"] = offloaded
-            self._pending[request.request_id] = (choice, examples, embedding)
-            views = [s.example.view() for s in examples] if offloaded else []
-            return choice.model_name, views
+            return self._cluster_decision(request, embedding, examples, choice)
 
         return route
+
+    def cluster_batch_router(self):
+        """A batch RouterFn for the batched serving engine.
+
+        Pass the returned callable to
+        :class:`repro.serving.engine.BatchedRetrievalEngine`: it embeds and
+        stage-1-retrieves a whole micro-batch at once, then routes each
+        request as :meth:`cluster_router` would — except that the cluster
+        load is sampled once per micro-batch, not per request: the
+        simulator enqueues nothing until the whole batch is routed, so
+        per-request sampling would read the same stale value anyway.
+        Micro-batching therefore coarsens the router's load signal to batch
+        granularity (bounded by ``max_batch``).
+        """
+
+        def route_batch(requests: list[Request], sim) -> list[tuple[str, list]]:
+            embeddings = [self.embedder.embed(r.text, r.latent)
+                          for r in requests]
+            routed = self._route_batch_with_bypass(requests, embeddings,
+                                                   sim.total_load())
+            return [
+                self._cluster_decision(request, embedding, examples, choice)
+                for request, embedding, (examples, choice, _)
+                in zip(requests, embeddings, routed)
+            ]
+
+        return route_batch
+
+    def _cluster_decision(self, request: Request, embedding: np.ndarray,
+                          examples: list[ScoredExample],
+                          choice: RoutingChoice) -> tuple[str, list]:
+        """Record a pending decision and shape it for the simulator."""
+        offloaded = choice.model_name != self.large_name
+        choice.metadata["offloaded"] = offloaded
+        self._pending[request.request_id] = (choice, examples, embedding)
+        views = [s.example.view() for s in examples] if offloaded else []
+        return choice.model_name, views
 
     def on_complete(self, request: Request, record: ServedRequest) -> None:
         """Completion callback for the cluster simulator: learn + admit."""
@@ -244,6 +368,12 @@ class ICCacheService:
         if not self.selector_enabled:
             return []
         return self.selector.select(embedding)
+
+    def _retrieve_batch(self, embeddings: list[np.ndarray]
+                        ) -> list[list[ScoredExample]]:
+        if not self.selector_enabled:
+            return [[] for _ in embeddings]
+        return self.selector.select_batch(np.stack(embeddings))
 
     def _route(self, request: Request, examples: list[ScoredExample],
                load: float | None) -> RoutingChoice:

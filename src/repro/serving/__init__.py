@@ -5,10 +5,18 @@ fixed GPU budget is partitioned into model replicas; each replica sustains a
 bounded number of concurrent requests (continuous-batching slots); requests
 queue FIFO per model; latency = queue wait + TTFT + decode.  The simulator
 reproduces exactly that, driven by arrival traces from
-:mod:`repro.workload.trace` and a pluggable routing policy.
+:mod:`repro.workload.trace` and a pluggable routing policy — either a
+per-request router or the batched retrieval engine of
+:mod:`repro.serving.engine`, which micro-batches arrivals so retrieval work
+amortizes across requests.
 """
 
 from repro.serving.cluster import ClusterConfig, ClusterSimulator, ModelDeployment
+from repro.serving.engine import (
+    BatchedRetrievalEngine,
+    BatchPolicy,
+    RequestBatcher,
+)
 from repro.serving.records import ServedRequest, ServingReport
 from repro.serving.metrics import windowed_series
 from repro.serving.autoscaler import BiasAutoscaler, ScalingDecision
@@ -17,6 +25,9 @@ __all__ = [
     "ClusterConfig",
     "ClusterSimulator",
     "ModelDeployment",
+    "BatchedRetrievalEngine",
+    "BatchPolicy",
+    "RequestBatcher",
     "ServedRequest",
     "ServingReport",
     "windowed_series",

@@ -10,6 +10,7 @@ from typing import Callable
 
 from repro.llm.icl import ExampleView
 from repro.llm.model import SimulatedLLM
+from repro.serving.engine import BatchedRetrievalEngine, RequestBatcher
 from repro.serving.records import ServedRequest, ServingReport
 from repro.workload.request import Request
 
@@ -20,7 +21,13 @@ RouterFn = Callable[[Request, "ClusterSimulator"], RoutingDecision]
 
 @dataclass
 class ModelDeployment:
-    """How many replicas of a model the cluster runs."""
+    """How many replicas of a model the cluster runs.
+
+    Mirrors the paper's section-6 setup, where the 16-GPU budget is split
+    between small-model replicas (many, cheap) and large-model replicas
+    (few, expensive); each replica sustains ``batch_slots`` concurrent
+    requests, the continuous-batching abstraction of a vLLM worker.
+    """
 
     model: SimulatedLLM
     replicas: int
@@ -42,7 +49,11 @@ class ModelDeployment:
 
 @dataclass
 class ClusterConfig:
-    """Cluster composition, checked against a GPU budget."""
+    """Cluster composition, checked against a GPU budget.
+
+    The default budget is 16, the paper's 16xA100 evaluation cluster
+    (section 6); pass ``gpu_budget=None`` for unconstrained what-if sweeps.
+    """
 
     deployments: list[ModelDeployment]
     gpu_budget: int | None = 16   # the paper's 16xA100 cluster; None = unchecked
@@ -81,11 +92,15 @@ class _ModelQueue:
 class ClusterSimulator:
     """Replays an arrival sequence through queues and replicas.
 
-    Event kinds: ``arrival`` routes a request and enqueues it; ``finish``
-    frees a slot and starts queued work.  The router callback sees the live
-    simulator, so load-aware policies can read :meth:`load` /
+    The event model behind the paper's serving experiments (section 6's
+    16xA100 cluster, Fig. 12/13): ``arrival`` routes a request and enqueues
+    it; ``finish`` frees a continuous-batching slot and starts queued work;
+    ``flush`` dispatches a retrieval micro-batch when a
+    :class:`~repro.serving.engine.BatchedRetrievalEngine` is driving routing
+    (the batcher's timeout is just another event).  The router callback sees
+    the live simulator, so load-aware policies can read :meth:`load` /
     :meth:`total_load` at decision time — this is the signal the paper's
-    Request Router biases on.
+    Request Router (section 4.2) biases on.
     """
 
     def __init__(self, config: ClusterConfig) -> None:
@@ -97,6 +112,7 @@ class ClusterSimulator:
         self.report = ServingReport()
         self.dropped: list[str] = []
         self._on_complete: Callable[[Request, ServedRequest], None] | None = None
+        self._batcher: RequestBatcher | None = None
 
     # ----- state the router can read -----------------------------------
 
@@ -117,22 +133,35 @@ class ClusterSimulator:
 
     # ----- simulation ---------------------------------------------------
 
-    def run(self, arrivals: list[tuple[float, Request]], router: RouterFn,
+    def run(self, arrivals: list[tuple[float, Request]],
+            router: RouterFn | BatchedRetrievalEngine,
             on_complete: Callable[[Request, ServedRequest], None] | None = None,
             ) -> ServingReport:
         """Simulate the full arrival sequence; returns the completed report.
 
+        ``router`` is either a per-request callable or a
+        :class:`~repro.serving.engine.BatchedRetrievalEngine`, in which case
+        arrivals are micro-batched (size/timeout policy) before routing and
+        the batching delay is charged to each request's queue wait.
         ``on_complete`` fires as each request finishes (simulation order), so
         online-learning policies can ingest feedback with realistic delay.
         """
         self._on_complete = on_complete
+        batched = hasattr(router, "route_batch")
+        if batched:
+            self._batcher = router.make_batcher()
         for timestamp, request in arrivals:
             self._push(timestamp, "arrival", (request, router))
         while self._events:
             timestamp, _, kind, payload = heapq.heappop(self._events)
             self.now = timestamp
             if kind == "arrival":
-                self._handle_arrival(*payload)
+                if batched:
+                    self._handle_batched_arrival(*payload)
+                else:
+                    self._handle_arrival(*payload)
+            elif kind == "flush":
+                self._handle_flush(*payload)
             else:
                 self._handle_finish(payload)
         return self.report
@@ -152,6 +181,40 @@ class ClusterSimulator:
         queue = self._queue(model_name)
         queue.pending.append((request, examples, self.now))
         self._drain(queue)
+
+    def _handle_batched_arrival(self, request: Request,
+                                engine: BatchedRetrievalEngine) -> None:
+        opened = len(self._batcher) == 0
+        full = self._batcher.add((request, self.now), self.now)
+        if full is not None:
+            self._dispatch_batch(full, engine)
+        elif opened:
+            # First item of a new batch: arm its timeout flush.  The
+            # generation stamp lets a stale timer (batch already size-
+            # flushed) fall through as a no-op.
+            self._push(self._batcher.deadline, "flush",
+                       (engine, self._batcher.generation))
+
+    def _handle_flush(self, engine: BatchedRetrievalEngine,
+                      generation: int) -> None:
+        if self._batcher.generation != generation:
+            return  # that batch already dispatched on size
+        batch = self._batcher.flush()
+        if batch:
+            self._dispatch_batch(batch, engine)
+
+    def _dispatch_batch(self, batch: list[tuple[Request, float]],
+                        engine: BatchedRetrievalEngine) -> None:
+        """Route a micro-batch and enqueue each request at its arrival time."""
+        requests = [request for request, _ in batch]
+        decisions = engine.route_batch(requests, self)
+        touched = []
+        for (request, arrival_s), (model_name, examples) in zip(batch, decisions):
+            queue = self._queue(model_name)
+            queue.pending.append((request, examples, arrival_s))
+            touched.append(queue)
+        for queue in touched:
+            self._drain(queue)
 
     def _drain(self, queue: _ModelQueue) -> None:
         while queue.pending and queue.free_slots > 0:

@@ -1,0 +1,126 @@
+"""The batched retrieval engine: micro-batching policy for the serve loop.
+
+The paper's serving stack (section 5) pays retrieval cost per request; at
+production scale the standard fix is micro-batching — hold arrivals for at
+most ``max_wait_s`` or until ``max_batch`` of them accumulate, then run
+embedding + stage-1 retrieval for the whole batch as one vectorized index
+pass (``search_batch`` down the :mod:`repro.vectorstore` stack).  Routing
+and generation stay per-request: they are stateful (the section-4.2 bandit
+updates online) and the cluster simulator schedules them individually.
+
+Components:
+
+* :class:`BatchPolicy` — the size/timeout knobs.
+* :class:`RequestBatcher` — the accumulation state machine; pure policy, no
+  clock of its own, so both the discrete-event simulator and a wall-clock
+  server can drive it.
+* :class:`BatchedRetrievalEngine` — binds a batch-routing callable (e.g.
+  :meth:`repro.core.service.ICCacheService.cluster_batch_router`) to a
+  policy; :class:`repro.serving.cluster.ClusterSimulator` accepts it in
+  place of a per-request router.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Size/timeout micro-batching policy.
+
+    A batch is dispatched as soon as it holds ``max_batch`` items, or
+    ``max_wait_s`` after its first item arrived, whichever comes first —
+    the classic bounded-staleness batching rule (latency cost is at most
+    ``max_wait_s`` of extra queueing per request).
+    """
+
+    max_batch: int = 8
+    max_wait_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait_s < 0:
+            raise ValueError(f"max_wait_s must be >= 0, got {self.max_wait_s}")
+
+
+class RequestBatcher:
+    """Accumulates items into micro-batches under a :class:`BatchPolicy`.
+
+    The batcher is clock-free: callers pass ``now`` into :meth:`add` and
+    read :attr:`deadline` to learn when the open batch must be force-flushed.
+    ``generation`` increments on every flush so schedulers can recognize
+    stale timers (a timer armed for a batch that size-flushed already).
+    """
+
+    def __init__(self, policy: BatchPolicy | None = None) -> None:
+        self.policy = policy or BatchPolicy()
+        self._pending: list = []
+        self.deadline: float | None = None   # when the open batch expires
+        self.generation = 0                   # flushes so far
+        self.batches_dispatched = 0
+        self.items_enqueued = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def add(self, item: object, now: float) -> list | None:
+        """Park ``item``; returns a full batch if this add filled one.
+
+        When the returned value is ``None`` and :attr:`deadline` is set, the
+        caller must arrange a :meth:`flush` no later than that time.
+        """
+        if not self._pending:
+            self.deadline = now + self.policy.max_wait_s
+        self._pending.append(item)
+        self.items_enqueued += 1
+        if len(self._pending) >= self.policy.max_batch:
+            return self.flush()
+        return None
+
+    def flush(self) -> list:
+        """Drain and return the open batch (empty list if nothing pending)."""
+        batch, self._pending = self._pending, []
+        self.deadline = None
+        if batch:
+            self.generation += 1
+            self.batches_dispatched += 1
+        return batch
+
+
+# One routing decision per request, same shape as the per-request RouterFn
+# in repro.serving.cluster: (model_name, example views).
+BatchRouterFn = Callable[[Sequence, object], list]
+
+
+class BatchedRetrievalEngine:
+    """A drop-in replacement for a per-request router in the simulator.
+
+    ``route_batch(requests, sim)`` must return one ``(model_name, examples)``
+    decision per request; :meth:`ICCacheService.cluster_batch_router
+    <repro.core.service.ICCacheService.cluster_batch_router>` produces
+    exactly that, with embedding + stage-1 retrieval amortized across the
+    batch.  :class:`repro.serving.cluster.ClusterSimulator` detects this
+    object (via ``route_batch``) and drives a :class:`RequestBatcher` with
+    its event clock, so batching delay shows up in queue-wait metrics.
+    """
+
+    def __init__(self, route_batch: BatchRouterFn,
+                 policy: BatchPolicy | None = None) -> None:
+        self.policy = policy or BatchPolicy()
+        self._route_batch = route_batch
+
+    def route_batch(self, requests: Sequence, sim) -> list:
+        decisions = self._route_batch(requests, sim)
+        if len(decisions) != len(requests):
+            raise ValueError(
+                f"batch router returned {len(decisions)} decisions "
+                f"for {len(requests)} requests"
+            )
+        return decisions
+
+    def make_batcher(self) -> RequestBatcher:
+        """A fresh batcher bound to this engine's policy."""
+        return RequestBatcher(self.policy)

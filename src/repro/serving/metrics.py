@@ -12,7 +12,11 @@ from repro.serving.records import ServedRequest, ServingReport
 
 @dataclass
 class WindowedSeries:
-    """A per-window aggregate: ``times`` are window midpoints in seconds."""
+    """A per-window aggregate: ``times`` are window midpoints in seconds.
+
+    The data behind the paper's time-series panels — e.g. Fig. 12's
+    per-minute offload ratio and Fig. 2's load-variability traces.
+    """
 
     times: np.ndarray
     values: np.ndarray

@@ -1,4 +1,10 @@
-"""Per-request serving records and run-level reports."""
+"""Per-request serving records and run-level reports.
+
+These are the observables behind the paper's serving figures: per-request
+latency decompositions (queue wait vs TTFT vs decode) feed the Fig. 12
+latency panels, and the run-level aggregates (throughput, offload ratio,
+total cost) are the axes of the Fig. 13 quality-throughput Pareto study.
+"""
 
 from __future__ import annotations
 
@@ -9,7 +15,14 @@ from repro.analysis.stats import LatencySummary, summarize_latencies
 
 @dataclass
 class ServedRequest:
-    """One completed request's serving-side observables."""
+    """One completed request's serving-side observables.
+
+    The latency decomposition follows the paper's serving model (section 6):
+    end-to-end latency = queue wait + TTFT + decode.  ``queue_wait_s``
+    includes any retrieval micro-batching delay introduced by
+    :class:`repro.serving.engine.BatchedRetrievalEngine`, so batching
+    policies are charged honestly in the Fig. 12 latency panels.
+    """
 
     request_id: str
     model_name: str
@@ -39,7 +52,13 @@ class ServedRequest:
 
 @dataclass
 class ServingReport:
-    """Aggregates over one simulated run."""
+    """Aggregates over one simulated run.
+
+    Supplies every run-level quantity the evaluation section reports:
+    throughput and latency summaries (Fig. 12), offload ratio against a
+    named small-model set (Fig. 12a), per-model splits (Fig. 20's
+    serving-load panels), and total serving cost (the Fig. 13 Pareto axis).
+    """
 
     records: list[ServedRequest] = field(default_factory=list)
 

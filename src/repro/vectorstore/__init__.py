@@ -6,11 +6,17 @@
 * :class:`IVFIndex` — inverted-file index: cluster the pool into K groups
   offline, search the ``nprobe`` nearest clusters online.  Section 4.1
   derives the matching-cost-minimizing K = sqrt(N), which is the default.
+* :class:`ShardedIndex` — hash-partitioned IVF shards with fan-out search
+  and top-k merge; the production-scale layout the ROADMAP targets.
+
+All indexes expose both ``search`` (one query) and ``search_batch`` (one
+vectorized matmul for a whole micro-batch of queries).
 """
 
 from repro.vectorstore.flat import FlatIndex, SearchResult
 from repro.vectorstore.kmeans import KMeans, KMeansResult
 from repro.vectorstore.ivf import IVFIndex, optimal_cluster_count
+from repro.vectorstore.sharded import ShardedIndex
 
 __all__ = [
     "FlatIndex",
@@ -19,4 +25,5 @@ __all__ = [
     "KMeansResult",
     "IVFIndex",
     "optimal_cluster_count",
+    "ShardedIndex",
 ]

@@ -22,7 +22,9 @@ class FlatIndex:
 
     Supports dynamic add/remove (the example cache churns constantly).
     Vectors are L2-normalized on insert so search is a single matrix-vector
-    product.
+    product; :meth:`search_batch` turns a whole micro-batch of queries into
+    one matrix-matrix product.  Storage grows by doubling so inserts are
+    amortized O(1) rather than one full copy per add.
     """
 
     def __init__(self, dim: int) -> None:
@@ -31,7 +33,7 @@ class FlatIndex:
         self.dim = dim
         self._keys: list[object] = []
         self._key_to_row: dict[object, int] = {}
-        self._vectors = np.empty((0, dim), dtype=float)
+        self._vectors = np.empty((0, dim), dtype=float)  # capacity >= size
 
     def __len__(self) -> int:
         return len(self._keys)
@@ -42,6 +44,24 @@ class FlatIndex:
     @property
     def keys(self) -> list[object]:
         return list(self._keys)
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The (n, dim) matrix of stored unit vectors, row i = key i.
+
+        A read-only view into index storage (no copy): callers such as
+        :class:`repro.vectorstore.ivf.IVFIndex` slice it for vectorized
+        per-cluster scoring.  Do not mutate.
+        """
+        view = self._vectors[: len(self._keys)]
+        view.flags.writeable = False
+        return view
+
+    def rows_of(self, keys: list[object]) -> np.ndarray:
+        """Row indices into :attr:`matrix` for ``keys`` (KeyError if absent)."""
+        return np.fromiter(
+            (self._key_to_row[key] for key in keys), dtype=np.intp, count=len(keys)
+        )
 
     def add(self, key: object, vector: np.ndarray) -> None:
         """Insert (or overwrite) ``key`` with its embedding."""
@@ -55,9 +75,14 @@ class FlatIndex:
         if key in self._key_to_row:
             self._vectors[self._key_to_row[key]] = vec
             return
-        self._key_to_row[key] = len(self._keys)
+        row = len(self._keys)
+        if row == self._vectors.shape[0]:  # grow capacity by doubling
+            grown = np.empty((max(8, 2 * row), self.dim), dtype=float)
+            grown[:row] = self._vectors[:row]
+            self._vectors = grown
+        self._key_to_row[key] = row
         self._keys.append(key)
-        self._vectors = np.vstack([self._vectors, vec[None, :]])
+        self._vectors[row] = vec
 
     def remove(self, key: object) -> None:
         """Delete ``key``; O(1) via swap-with-last."""
@@ -71,7 +96,6 @@ class FlatIndex:
             self._vectors[row] = self._vectors[last]
             self._key_to_row[moved_key] = row
         self._keys.pop()
-        self._vectors = self._vectors[:last]
 
     def get_vector(self, key: object) -> np.ndarray:
         """The stored (normalized) embedding for ``key``."""
@@ -89,8 +113,40 @@ class FlatIndex:
         qnorm = float(np.linalg.norm(q))
         if qnorm < _EPS:
             return []
-        scores = self._vectors @ (q / qnorm)
+        scores = self.matrix @ (q / qnorm)
         k = min(k, len(self._keys))
         top = np.argpartition(-scores, k - 1)[:k]
         top = top[np.argsort(-scores[top])]
         return [SearchResult(self._keys[i], float(scores[i])) for i in top]
+
+    def search_batch(self, queries: np.ndarray, k: int) -> list[list[SearchResult]]:
+        """Exact top-``k`` for a batch of queries in one matmul.
+
+        ``queries`` is (batch, dim); returns one descending result list per
+        query.  Zero-norm queries get an empty list, matching :meth:`search`.
+        """
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        q = np.atleast_2d(np.asarray(queries, dtype=float))
+        if q.shape[1] != self.dim:
+            raise ValueError(f"query dim {q.shape[1]} != index dim {self.dim}")
+        n_queries = q.shape[0]
+        if k == 0 or not self._keys:
+            return [[] for _ in range(n_queries)]
+        norms = np.linalg.norm(q, axis=1)
+        valid = norms >= _EPS
+        q = q / np.maximum(norms, _EPS)[:, None]
+
+        scores = q @ self.matrix.T  # (batch, n): the one vectorized matmul
+        k = min(k, len(self._keys))
+        top = np.argpartition(-scores, k - 1, axis=1)[:, :k]
+        results: list[list[SearchResult]] = []
+        for i in range(n_queries):
+            if not valid[i]:
+                results.append([])
+                continue
+            order = top[i][np.argsort(-scores[i, top[i]])]
+            results.append(
+                [SearchResult(self._keys[j], float(scores[i, j])) for j in order]
+            )
+        return results

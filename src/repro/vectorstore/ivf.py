@@ -10,6 +10,7 @@ the background (here: synchronously on the next search).
 from __future__ import annotations
 
 import math
+from collections import defaultdict
 
 import numpy as np
 
@@ -110,6 +111,61 @@ class IVFIndex:
         candidates.sort(key=lambda r: r.score, reverse=True)
         return candidates[:k]
 
+    def search_batch(self, queries: np.ndarray, k: int) -> list[list[SearchResult]]:
+        """Approximate top-``k`` for a micro-batch of queries.
+
+        Instead of scoring one candidate at a time (the per-request loop in
+        :meth:`search`), this scores centroids for the whole batch in one
+        matmul, groups queries by probed cluster, and runs one vectorized
+        ``members @ Q.T`` product per (cluster, querying-subset) pair — the
+        amortization that makes batched serving pay off (section 7's
+        throughput experiments assume exactly this).
+        """
+        self._maybe_train()
+        q = np.atleast_2d(np.asarray(queries, dtype=float))
+        if self._centroids is None:
+            return self._flat.search_batch(q, k)
+        if q.shape[1] != self.dim:
+            raise ValueError(f"query dim {q.shape[1]} != index dim {self.dim}")
+        n_queries = q.shape[0]
+        if k <= 0:
+            return [[] for _ in range(n_queries)]
+        norms = np.linalg.norm(q, axis=1)
+        valid = norms > 0
+        q = q / np.maximum(norms, 1e-12)[:, None]
+
+        nprobe = min(self.nprobe, self.n_clusters)
+        centroid_scores = q @ self._centroids.T  # (batch, K)
+        probes = np.argpartition(-centroid_scores, nprobe - 1, axis=1)[:, :nprobe]
+
+        # Invert to cluster -> querying rows so each cluster's member matrix
+        # is gathered and multiplied once per batch, not once per query.
+        by_cluster: dict[int, list[int]] = defaultdict(list)
+        for qi in np.flatnonzero(valid):
+            for cluster in probes[qi]:
+                by_cluster[int(cluster)].append(int(qi))
+
+        candidates: list[list[SearchResult]] = [[] for _ in range(n_queries)]
+        matrix = self._flat.matrix
+        for cluster, rows in by_cluster.items():
+            members = self._cluster_members[cluster]
+            if not members:
+                continue
+            sub = matrix[self._flat.rows_of(members)]       # (m, dim)
+            scores = q[rows] @ sub.T                        # (rows, m)
+            m = len(members)
+            keep = min(k, m)
+            for row, qi in enumerate(rows):
+                s = scores[row]
+                top = np.argpartition(-s, keep - 1)[:keep] if m > keep \
+                    else np.arange(m)
+                candidates[qi].extend(
+                    SearchResult(members[i], float(s[i])) for i in top
+                )
+        for bucket in candidates:
+            bucket.sort(key=lambda r: r.score, reverse=True)
+        return [bucket[:k] for bucket in candidates]
+
     def matching_cost(self) -> float:
         """Expected comparisons per query: K + nprobe * N / K (section 4.1)."""
         n = len(self)
@@ -128,7 +184,7 @@ class IVFIndex:
         if not stale:
             return
         keys = self._flat.keys
-        data = np.stack([self._flat.get_vector(key) for key in keys])
+        data = np.array(self._flat.matrix)  # rows align with ``keys``
         k = optimal_cluster_count(n)
         result = KMeans(n_clusters=k, seed=self.seed).fit(data)
         self._centroids = result.centroids / np.maximum(

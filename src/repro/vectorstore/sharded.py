@@ -1,0 +1,117 @@
+"""Sharded IVF index: partition the pool, fan out searches, merge top-k.
+
+A single :class:`~repro.vectorstore.ivf.IVFIndex` is the right structure for
+one retriever replica; at production scale (ROADMAP north star, paper
+section 5's "GPU-accelerated FAISS" deployment note) the example pool is
+partitioned across shards so inserts parallelize and each shard's K-Means
+retrain touches only 1/S of the data.  :class:`ShardedIndex` reproduces that
+layout: keys are assigned to shards by a stable hash (or a caller-provided
+``shard_fn``, e.g. topic-keyed), every search fans out to all shards, and the
+per-shard top-k lists are merged by score.
+
+Fan-out search is *exact with respect to the sharding*: the only recall loss
+versus a single index comes from each shard's own IVF approximation, so
+recall typically improves slightly (each shard probes ``nprobe`` of its own,
+smaller, cluster set).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.utils.rng import stable_hash
+from repro.vectorstore.flat import SearchResult
+from repro.vectorstore.ivf import IVFIndex
+
+
+class ShardedIndex:
+    """Hash-partitioned collection of IVF shards with fan-out top-k search.
+
+    Mirrors the single-index API (``add`` / ``remove`` / ``search`` /
+    ``search_batch`` / ``matching_cost``) so callers such as
+    :class:`repro.core.cache.ShardedExampleCache` can swap it in transparently.
+    """
+
+    def __init__(self, dim: int, n_shards: int = 4, nprobe: int = 2,
+                 min_train_size: int = 64, retrain_threshold: float = 0.3,
+                 seed: int = 0,
+                 shard_fn: Callable[[object], int] | None = None) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self.dim = dim
+        self.n_shards = n_shards
+        self._shard_fn = shard_fn
+        self._shards = [
+            IVFIndex(
+                dim=dim, nprobe=nprobe, min_train_size=min_train_size,
+                retrain_threshold=retrain_threshold,
+                seed=stable_hash("shard", seed, s),
+            )
+            for s in range(n_shards)
+        ]
+        # Assignment is memoized so remove/get_vector stay O(1) even when a
+        # caller-provided shard_fn is not a pure function of the key.
+        self._key_to_shard: dict[object, int] = {}
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._key_to_shard
+
+    @property
+    def shard_sizes(self) -> list[int]:
+        """Entry count per shard (balance diagnostic)."""
+        return [len(shard) for shard in self._shards]
+
+    def shard_of(self, key: object) -> int:
+        """The shard index ``key`` lives in (or would be assigned to)."""
+        assigned = self._key_to_shard.get(key)
+        if assigned is not None:
+            return assigned
+        if self._shard_fn is not None:
+            shard = int(self._shard_fn(key)) % self.n_shards
+        else:
+            shard = stable_hash("shard-key", key) % self.n_shards
+        return shard
+
+    def add(self, key: object, vector: np.ndarray) -> None:
+        if key in self._key_to_shard:
+            self.remove(key)
+        shard = self.shard_of(key)
+        self._shards[shard].add(key, vector)
+        self._key_to_shard[key] = shard
+
+    def remove(self, key: object) -> None:
+        shard = self._key_to_shard.pop(key, None)
+        if shard is None:
+            raise KeyError(key)
+        self._shards[shard].remove(key)
+
+    def get_vector(self, key: object) -> np.ndarray:
+        return self._shards[self._key_to_shard[key]].get_vector(key)
+
+    def search(self, query: np.ndarray, k: int) -> list[SearchResult]:
+        """Fan out to every shard; merge the per-shard top-k by score."""
+        merged: list[SearchResult] = []
+        for shard in self._shards:
+            merged.extend(shard.search(query, k))
+        merged.sort(key=lambda r: r.score, reverse=True)
+        return merged[:k]
+
+    def search_batch(self, queries: np.ndarray, k: int) -> list[list[SearchResult]]:
+        """Batched fan-out: each shard scores the whole batch at once."""
+        q = np.atleast_2d(np.asarray(queries, dtype=float))
+        per_shard = [shard.search_batch(q, k) for shard in self._shards]
+        results: list[list[SearchResult]] = []
+        for qi in range(q.shape[0]):
+            merged = [hit for shard_hits in per_shard for hit in shard_hits[qi]]
+            merged.sort(key=lambda r: r.score, reverse=True)
+            results.append(merged[:k])
+        return results
+
+    def matching_cost(self) -> float:
+        """Expected comparisons per fan-out query: sum of per-shard costs."""
+        return sum(shard.matching_cost() for shard in self._shards)

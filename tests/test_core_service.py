@@ -73,6 +73,62 @@ class TestServe:
         assert len(service.cache) == before + 1
 
 
+class TestServeBatch:
+    def test_serve_batch_matches_request_count_and_stats(self):
+        config = ICCacheConfig(seed=21, manager=ManagerConfig(sanitize=False))
+        service = ICCacheService(config)
+        dataset = SyntheticDataset("ms_marco", scale=0.0005, seed=21)
+        service.seed_cache(dataset.example_bank_requests()[:100])
+        requests = dataset.online_requests(24)
+        outcomes = service.serve_batch(requests, load=0.2)
+        assert len(outcomes) == 24
+        assert service.stats.served == 24
+        assert [o.request.request_id for o in outcomes] == \
+            [r.request_id for r in requests]
+
+    def test_serve_batch_empty(self):
+        service = ICCacheService(ICCacheConfig(
+            seed=22, manager=ManagerConfig(sanitize=False)))
+        assert service.serve_batch([]) == []
+
+    def test_serve_batch_offloaded_requests_carry_examples(self):
+        config = ICCacheConfig(seed=23, manager=ManagerConfig(sanitize=False))
+        service = ICCacheService(config)
+        dataset = SyntheticDataset("ms_marco", scale=0.0005, seed=23)
+        service.seed_cache(dataset.example_bank_requests()[:150])
+        outcomes = service.serve_batch(dataset.online_requests(60), load=0.2)
+        offloaded = [o for o in outcomes if o.offloaded]
+        assert offloaded, "router should offload some of the batch"
+        assert any(o.result.n_examples > 0 for o in offloaded)
+        for o in outcomes:
+            if not o.offloaded:
+                assert o.result.n_examples == 0
+
+    def test_serve_batch_retrieval_failure_bypasses_whole_batch(self):
+        config = ICCacheConfig(seed=24, manager=ManagerConfig(sanitize=False))
+        service = ICCacheService(config)
+
+        def broken_select_batch(embeddings):
+            raise RuntimeError("retriever shard down")
+
+        service.selector.select_batch = broken_select_batch
+        outcomes = service.serve_batch([make_request(request_id=f"b{i}")
+                                        for i in range(3)])
+        assert all(o.bypassed for o in outcomes)
+        assert all(o.choice.model_name == service.large_name for o in outcomes)
+        assert service.stats.bypasses == 3
+
+    def test_serve_batch_with_sharded_cache(self):
+        config = ICCacheConfig(seed=25, cache_shards=4,
+                               manager=ManagerConfig(sanitize=False))
+        service = ICCacheService(config)
+        dataset = SyntheticDataset("ms_marco", scale=0.0005, seed=25)
+        service.seed_cache(dataset.example_bank_requests()[:120])
+        assert sum(service.cache.shard_sizes) == len(service.cache)
+        outcomes = service.serve_batch(dataset.online_requests(16), load=0.2)
+        assert len(outcomes) == 16
+
+
 class TestRouterDisabled:
     def test_router_disabled_always_offloads(self):
         config = ICCacheConfig(seed=6, manager=ManagerConfig(sanitize=False))
@@ -147,6 +203,37 @@ class TestClusterIntegration:
         assert report.n == 120
         assert service.stats.served == 120
         assert report.offload_ratio({service.small_name}) > 0.0
+
+
+class TestClusterBatchedIntegration:
+    def test_service_drives_batched_cluster_simulation(self):
+        from repro.serving.engine import BatchedRetrievalEngine, BatchPolicy
+
+        config = ICCacheConfig(seed=26, cache_shards=2,
+                               manager=ManagerConfig(sanitize=False))
+        service = ICCacheService(config)
+        dataset = SyntheticDataset("ms_marco", scale=0.0005, seed=26)
+        service.seed_cache(dataset.example_bank_requests()[:150])
+        sim = ClusterSimulator(ClusterConfig(
+            deployments=[
+                ModelDeployment(service.models[service.small_name], replicas=4),
+                ModelDeployment(service.models[service.large_name], replicas=1),
+            ],
+            gpu_budget=16,
+        ))
+        engine = BatchedRetrievalEngine(
+            service.cluster_batch_router(),
+            BatchPolicy(max_batch=8, max_wait_s=0.25),
+        )
+        requests = dataset.online_requests(96)
+        arrivals = [(i * 0.05, r) for i, r in enumerate(requests)]
+        report = sim.run(arrivals, engine, on_complete=service.on_complete)
+        assert report.n == 96
+        assert service.stats.served == 96
+        assert report.offload_ratio({service.small_name}) > 0.0
+        # Batching delay is charged as queue wait, bounded by max_wait_s
+        # plus whatever replica-slot queueing the run produced.
+        assert all(r.queue_wait_s >= 0 for r in report.records)
 
 
 class TestClient:

@@ -1,0 +1,67 @@
+"""Docs stay honest: code blocks in README/ARCHITECTURE must resolve.
+
+Every ``import``/``from`` line inside a fenced ``python`` block in the
+user-facing docs is executed against the installed package, so renaming or
+removing a public symbol breaks this test (and CI) instead of silently
+rotting the documentation.
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = [REPO_ROOT / "README.md", REPO_ROOT / "docs" / "ARCHITECTURE.md"]
+
+_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+_IMPORT = re.compile(
+    r"^(?:from\s+([\w.]+)\s+import\s+([\w, ]+)|import\s+([\w.]+))\s*(?:#.*)?$"
+)
+
+
+def _import_lines(path: Path) -> list[str]:
+    text = path.read_text(encoding="utf-8")
+    lines = []
+    for block in _FENCE.findall(text):
+        for line in block.splitlines():
+            line = line.strip()
+            if line.startswith(("import ", "from ")):
+                lines.append(line)
+    return lines
+
+
+def _doc_cases():
+    for path in DOC_FILES:
+        for line in _import_lines(path):
+            yield pytest.param(path, line, id=f"{path.name}:{line}")
+
+
+def test_doc_files_exist():
+    for path in DOC_FILES:
+        assert path.is_file(), f"{path} is missing"
+
+
+def test_docs_have_code_blocks():
+    for path in DOC_FILES:
+        if path.name == "README.md":
+            assert _import_lines(path), "README has no import lines to check"
+
+
+@pytest.mark.parametrize("path, line", _doc_cases())
+def test_doc_imports_resolve(path: Path, line: str):
+    match = _IMPORT.match(line)
+    assert match, f"unparseable import line in {path.name}: {line!r}"
+    from_module, names, plain_module = match.groups()
+    if plain_module is not None:
+        importlib.import_module(plain_module)
+        return
+    module = importlib.import_module(from_module)
+    for name in (n.strip() for n in names.split(",")):
+        assert hasattr(module, name), (
+            f"{path.name} imports {name!r} from {from_module}, "
+            f"which does not export it"
+        )

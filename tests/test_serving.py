@@ -189,3 +189,99 @@ class TestWindowedSeries:
         by_finish = windowed_series(report, 60.0, mean_latency_fn, by="finish")
         assert len(by_finish.values) == 2
         assert np.isnan(by_finish.values[0])
+
+
+class TestRequestBatcher:
+    def test_size_flush(self):
+        from repro.serving.engine import BatchPolicy, RequestBatcher
+
+        batcher = RequestBatcher(BatchPolicy(max_batch=3, max_wait_s=1.0))
+        assert batcher.add("a", now=0.0) is None
+        assert batcher.add("b", now=0.1) is None
+        assert batcher.add("c", now=0.2) == ["a", "b", "c"]
+        assert len(batcher) == 0
+        assert batcher.generation == 1
+        assert batcher.batches_dispatched == 1
+
+    def test_deadline_set_on_first_item_and_cleared_on_flush(self):
+        from repro.serving.engine import BatchPolicy, RequestBatcher
+
+        batcher = RequestBatcher(BatchPolicy(max_batch=10, max_wait_s=0.5))
+        assert batcher.deadline is None
+        batcher.add("a", now=2.0)
+        assert batcher.deadline == pytest.approx(2.5)
+        batcher.add("b", now=2.1)  # deadline pinned to the first item
+        assert batcher.deadline == pytest.approx(2.5)
+        assert batcher.flush() == ["a", "b"]
+        assert batcher.deadline is None
+
+    def test_flush_empty_is_noop(self):
+        from repro.serving.engine import RequestBatcher
+
+        batcher = RequestBatcher()
+        assert batcher.flush() == []
+        assert batcher.generation == 0
+
+    def test_invalid_policy_rejected(self):
+        from repro.serving.engine import BatchPolicy
+
+        with pytest.raises(ValueError):
+            BatchPolicy(max_batch=0)
+        with pytest.raises(ValueError):
+            BatchPolicy(max_wait_s=-1.0)
+
+
+class TestBatchedRetrievalEngine:
+    def test_engine_decision_count_checked(self):
+        from repro.serving.engine import BatchedRetrievalEngine
+
+        engine = BatchedRetrievalEngine(lambda requests, sim: [])
+        with pytest.raises(ValueError):
+            engine.route_batch([make_request()], sim=None)
+
+    def test_simulator_batches_and_serves_everything(self):
+        from repro.serving.engine import BatchedRetrievalEngine, BatchPolicy
+
+        seen_batches = []
+
+        def route_batch(requests, sim):
+            seen_batches.append(len(requests))
+            return [("gemma-2-2b", []) for _ in requests]
+
+        engine = BatchedRetrievalEngine(
+            route_batch, BatchPolicy(max_batch=4, max_wait_s=0.5))
+        sim = small_cluster()
+        arrivals = [(i * 0.01, make_request(request_id=f"q{i}"))
+                    for i in range(10)]
+        report = sim.run(arrivals, engine)
+        assert report.n == 10
+        # 10 arrivals in 0.09s with max_batch=4: two size flushes plus a
+        # timeout flush for the tail.
+        assert seen_batches == [4, 4, 2]
+
+    def test_timeout_flush_preserves_arrival_times(self):
+        from repro.serving.engine import BatchedRetrievalEngine, BatchPolicy
+
+        engine = BatchedRetrievalEngine(
+            lambda requests, sim: [("gemma-2-2b", []) for _ in requests],
+            BatchPolicy(max_batch=100, max_wait_s=0.5),
+        )
+        sim = small_cluster()
+        arrivals = [(0.0, make_request(request_id="a")),
+                    (0.2, make_request(request_id="b"))]
+        report = sim.run(arrivals, engine)
+        assert report.n == 2
+        by_id = {r.request_id: r for r in report.records}
+        # The batch dispatches at t=0.5; each request's wait reflects its
+        # own arrival time.
+        assert by_id["a"].queue_wait_s == pytest.approx(0.5)
+        assert by_id["b"].queue_wait_s == pytest.approx(0.3)
+
+    def test_per_request_router_path_unchanged(self):
+        sim = small_cluster()
+        arrivals = [(i * 0.1, make_request(request_id=f"p{i}"))
+                    for i in range(5)]
+        report = sim.run(arrivals, always("gemma-2-2b"))
+        assert report.n == 5
+        assert all(r.queue_wait_s == pytest.approx(0.0)
+                   for r in report.records)
