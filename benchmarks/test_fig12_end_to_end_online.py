@@ -9,11 +9,13 @@ beating RouteLLM by ~9% quality at comparable throughput.
 
 import numpy as np
 
-from harness import judged, make_service, print_table, run_once
-from repro.baselines.routellm import RouteLLMRouter
+from harness import judged, print_table, run_once
+from repro.core.config import ICCacheConfig, ManagerConfig
 from repro.llm.zoo import get_model
+from repro.pipeline import registry
 from repro.serving.cluster import ClusterConfig, ClusterSimulator, ModelDeployment
 from repro.serving.metrics import offload_ratio_fn, windowed_series
+from repro.workload.datasets import SyntheticDataset
 from repro.workload.trace import evaluation_trace
 
 SMALL, LARGE = "gemma-2-2b", "gemma-2-27b"
@@ -39,24 +41,28 @@ def _arrivals(dataset, mean_rps=2.5, seed=12):
 
 
 def _run_policy(policy: str, dataset_name: str, seed: int = 12):
-    service, dataset = make_service(dataset_name, pair="gemma", scale=0.001,
-                                    seed=seed)
+    dataset = SyntheticDataset(dataset_name, scale=0.001, seed=seed)
+    # History is generated before the online stream for every policy (the
+    # dataset's request generator is call-order dependent), so all four
+    # policies replay the identical arrival sequence.
+    history = dataset.example_bank_requests()[:400]
     arrivals = _arrivals(dataset, seed=seed)
 
-    if policy == "ic-cache":
-        sim = _cluster(service.models, seed=seed)
-        report = sim.run(arrivals, service.cluster_router(),
-                         on_complete=service.on_complete)
-    elif policy == "routellm":
-        router = RouteLLMRouter(SMALL, LARGE, threshold=0.5, seed=seed)
-        sim = _cluster(seed=seed)
-        report = sim.run(arrivals,
-                         lambda req, s: (router.route(req), []))
-    elif policy in (SMALL, LARGE):
+    if policy in (SMALL, LARGE):
         sim = _cluster(seed=seed)
         report = sim.run(arrivals, lambda req, s: (policy, []))
     else:
-        raise ValueError(policy)
+        # Both learned systems come out of the policy registry and drive
+        # the cluster through the same pipeline protocols.
+        pipeline = registry.build_policy(
+            policy,
+            config=ICCacheConfig(seed=seed, manager=ManagerConfig(sanitize=False)),
+            dataset=dataset,
+            history=history,
+        )
+        sim = _cluster(pipeline.models, seed=seed)
+        report = sim.run(arrivals, pipeline.cluster_router(),
+                         on_complete=pipeline.on_complete)
 
     requests = [r for _, r in arrivals]
     reference = [get_model(LARGE, seed=99).generate(r).quality

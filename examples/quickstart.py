@@ -37,7 +37,7 @@ def main() -> None:
     print(f"served {stats.served} requests")
     print(f"offload ratio: {stats.offload_ratio:.2f} overall, "
           f"{late_offload:.2f} over the last 100 (the bandit ramps up)")
-    print(f"mean response quality: {np.mean(stats.qualities):.3f}")
+    print(f"mean response quality: {stats.mean_quality:.3f}")
     print(f"mean examples per offloaded request: "
           f"{np.mean([o.result.n_examples for o in offloaded]):.1f}")
     print(f"router feedback solicitations: "

@@ -74,6 +74,18 @@ class SemanticCache:
         self._entries[request.request_id] = (request, response_quality)
         self._index.add(request.request_id, embedding)
 
+    def entry(self, request_id: str) -> tuple[Request, float]:
+        """The stored (request, response quality) pair for a cached id.
+
+        This is how the pipeline adapter repurposes a hit as an in-context
+        example (Fig. 14's "Semantic w/ IC") instead of returning the
+        cached response verbatim.
+        """
+        try:
+            return self._entries[request_id]
+        except KeyError:
+            raise KeyError(f"request {request_id!r} not in cache") from None
+
     def lookup(self, request: Request, embedding: np.ndarray) -> CacheLookup:
         """Probe the cache; a hit returns the reused response's quality."""
         results = self._index.search(embedding, 1)

@@ -1,24 +1,26 @@
 """The end-to-end IC-Cache service (Fig. 5, Algorithm 1).
 
-``serve`` implements the full ServeRequests flow inline (retrieve examples ->
-route -> generate -> manage), including the learning loops: sampled thumbs
-feedback trains the router, solicited preference comparisons train it on
-uncertain decisions, and sampled helpfulness observations train the proxy.
+Since the pipeline redesign, ``ICCacheService`` owns the paper's learned
+components — selector (section 4.1), bandit router (section 4.2), example
+manager (section 4.3), feedback loops — and composes them into one
+:class:`repro.pipeline.core.ICCachePipeline`.  The four serving entry
+points (``serve``, ``serve_batch``, ``cluster_router``,
+``cluster_batch_router``) are thin facades over that single pipeline
+execution path: an inline request is a batch of one, the cluster paths are
+the same decision stages with completion deferred to the simulator's
+``on_complete`` callback, and the section-5 fault-tolerance bypass is a
+middleware (:class:`~repro.pipeline.middleware.FaultBypassMiddleware`)
+instead of per-path try/except.
 
-For cluster experiments the service also plugs into
-:class:`repro.serving.ClusterSimulator`: :meth:`cluster_router` makes routing
-decisions with live load, and :meth:`on_complete` ingests feedback as
-requests finish (so learning sees serving delay, as in a real deployment).
-
-Fault tolerance (section 5): if the selector or router raises, the request
-is bypassed directly to the large model so service continues.
+The learning loops live here and attach to the pipeline as an
+``after_complete`` hook: sampled thumbs feedback trains the router,
+solicited preference comparisons train it on uncertain decisions, and
+sampled helpfulness observations train the proxy.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-import numpy as np
+from dataclasses import dataclass
 
 from repro.core.cache import ExampleCache, ShardedExampleCache
 from repro.core.config import ICCacheConfig
@@ -26,17 +28,20 @@ from repro.core.example import Example
 from repro.core.manager import ExampleManager
 from repro.core.proxy import HelpfulnessProxy
 from repro.core.replay import ReplayEngine
-from repro.core.router import BanditRouter, RouterArm, RoutingChoice, routing_features
+from repro.core.router import BanditRouter, RouterArm, RoutingChoice
 from repro.core.selector import ExampleSelector, ScoredExample
 from repro.embedding.embedder import LatentEmbedder
 from repro.llm.icl import example_utility
 from repro.llm.model import GenerationResult, SimulatedLLM
 from repro.llm.zoo import get_model
+from repro.pipeline.stats import ServiceStats  # re-exported for old call sites
 from repro.serving.records import ServedRequest
 from repro.utils.clock import SimClock
 from repro.utils.rng import make_rng, stable_hash
 from repro.workload.feedback import FeedbackSimulator
 from repro.workload.request import Request
+
+__all__ = ["ICCacheService", "ServeOutcome", "ServiceStats"]
 
 
 @dataclass
@@ -46,7 +51,9 @@ class ServeOutcome:
     The per-request observables of Algorithm 1: the routing choice
     (section 4.2), the selected example combination (section 4.1), whether
     the section-5 fault-tolerance bypass fired, and the example (if any) the
-    manager admitted from this pair (section 4.3).
+    manager admitted from this pair (section 4.3).  This is the stable
+    public result type; the pipeline's richer
+    :class:`~repro.pipeline.context.ServeContext` converts down to it.
     """
 
     request: Request
@@ -61,33 +68,13 @@ class ServeOutcome:
         return bool(self.choice.metadata.get("offloaded", False))
 
 
-@dataclass
-class ServiceStats:
-    """Running counters the benchmarks read.
-
-    ``offload_ratio`` is the headline quantity of the paper's end-to-end
-    evaluation (section 7.1, Fig. 12): the fraction of traffic IC-Cache
-    diverts from the large reference model to the cheap model.
-    """
-
-    served: int = 0
-    offloaded: int = 0
-    bypasses: int = 0
-    router_updates: int = 0
-    proxy_updates: int = 0
-    qualities: list[float] = field(default_factory=list)
-
-    @property
-    def offload_ratio(self) -> float:
-        return self.offloaded / self.served if self.served else 0.0
-
-
 class ICCacheService:
     """Wires the Example Selector, Request Router, and Example Manager.
 
     The Fig. 5 system: the selector of section 4.1 retrieves an example
     combination, the bandit router of section 4.2 picks a model under load,
-    and the manager of section 4.3 curates the plaintext cache.  Requests
+    and the manager of section 4.3 curates the plaintext cache — all
+    executing on the shared serving pipeline (``self.pipeline``).  Requests
     flow through :meth:`serve` one at a time, or through :meth:`serve_batch`
     /:meth:`cluster_batch_router` when the batched retrieval engine
     amortizes embedding and stage-1 search across a micro-batch.
@@ -125,8 +112,6 @@ class ICCacheService:
             self.cache = ExampleCache(dim=self.config.embedding_dim, seed=seed)
         self.proxy = HelpfulnessProxy()
         self.selector = ExampleSelector(self.cache, self.proxy, self.config.selector)
-        self.selector_enabled = selector_enabled
-        self.router_enabled = router_enabled
 
         costs = {name: m.spec.cost_per_1k_tokens for name, m in self.models.items()}
         max_cost = max(costs.values())
@@ -150,10 +135,52 @@ class ICCacheService:
         )
         self.stats = ServiceStats()
         self._rng = make_rng(stable_hash("service", seed))
-        # request_id -> (choice, examples, embedding), resolved by on_complete.
-        self._pending: dict[
-            str, tuple[RoutingChoice, list[ScoredExample], np.ndarray]
-        ] = {}
+
+        # Imported here, not at module level: repro.pipeline depends on the
+        # core component modules, so a top-level import would be circular.
+        from repro.pipeline.core import ICCachePipeline
+        from repro.pipeline.middleware import FaultBypassMiddleware, LearningHook
+        from repro.pipeline.policies import ICAdmission, ICRetrieval, ICRouting
+
+        self._ic_retrieval = ICRetrieval(self.selector, enabled=selector_enabled)
+        self._ic_routing = ICRouting(self.router, self.small_name,
+                                     enabled=router_enabled)
+        self.pipeline = ICCachePipeline(
+            embedder=self.embedder,
+            models=self.models,
+            reference_model=self.large_name,
+            retrieval=self._ic_retrieval,
+            routing=self._ic_routing,
+            admission=ICAdmission(self.manager, self.arm_costs),
+            middlewares=[
+                FaultBypassMiddleware(self.large_name, self.stats),
+                LearningHook(self._learn),
+            ],
+            stats=self.stats,
+            clock=self.clock,
+        )
+        self.pipeline.service = self
+
+    # -- ablation switches ---------------------------------------------------
+    # Live flags (old call sites toggle them mid-run, e.g. the Fig. 16/20
+    # ablations): they delegate to the IC stage policies the service
+    # composed, so a toggle takes effect on the next request.
+
+    @property
+    def selector_enabled(self) -> bool:
+        return self._ic_retrieval.enabled
+
+    @selector_enabled.setter
+    def selector_enabled(self, enabled: bool) -> None:
+        self._ic_retrieval.enabled = enabled
+
+    @property
+    def router_enabled(self) -> bool:
+        return self._ic_routing.enabled
+
+    @router_enabled.setter
+    def router_enabled(self, enabled: bool) -> None:
+        self._ic_routing.enabled = enabled
 
     # -- cache seeding -----------------------------------------------------
 
@@ -178,25 +205,14 @@ class ICCacheService:
                 admitted += 1
         return admitted
 
-    # -- the inline serving path (Algorithm 1) ------------------------------
+    # -- serving facades (compat shims over the pipeline) --------------------
+    # These four entry points predate the pipeline; they are kept stable so
+    # old call sites keep working (tests/test_compat_shims.py locks this
+    # surface).  New code can drive self.pipeline directly.
 
     def serve(self, request: Request, load: float | None = None) -> ServeOutcome:
         """Serve one request end-to-end, including learning and admission."""
-        embedding = self.embedder.embed(request.text, request.latent)
-
-        bypassed = False
-        try:
-            examples = self._retrieve(embedding)
-            choice = self._route(request, examples, load)
-        except Exception:
-            # Fault-tolerance bypass (section 5): selector/router failure
-            # routes the request straight to the large model.
-            examples = []
-            choice = self._bypass_choice(request)
-            bypassed = True
-            self.stats.bypasses += 1
-        return self._generate_and_learn(request, embedding, examples, choice,
-                                        bypassed)
+        return self._outcome(self.pipeline.run_batch([request], load)[0])
 
     def serve_batch(self, requests: list[Request],
                     load: float | None = None) -> list[ServeOutcome]:
@@ -212,200 +228,37 @@ class ICCacheService:
         bypasses the whole micro-batch, a per-request routing failure
         bypasses just that request.
         """
-        if not requests:
-            return []
-        embeddings = [self.embedder.embed(r.text, r.latent) for r in requests]
-        routed = self._route_batch_with_bypass(requests, embeddings, load)
-        return [
-            self._generate_and_learn(request, embedding, examples, choice,
-                                     bypassed)
-            for request, embedding, (examples, choice, bypassed)
-            in zip(requests, embeddings, routed)
-        ]
-
-    def _route_batch_with_bypass(
-            self, requests: list[Request], embeddings: list[np.ndarray],
-            load: float | None,
-    ) -> list[tuple[list[ScoredExample], RoutingChoice, bool]]:
-        """Batched retrieval + per-request routing with section-5 bypasses.
-
-        A retrieval failure bypasses the whole micro-batch; a routing
-        failure bypasses just that request.  Returns one
-        ``(examples, choice, bypassed)`` triple per request.
-        """
-        try:
-            combos = self._retrieve_batch(embeddings)
-        except Exception:
-            combos = None  # whole-batch retrieval failure
-        routed = []
-        for i, request in enumerate(requests):
-            examples: list[ScoredExample] = []
-            choice = None
-            if combos is not None:
-                try:
-                    examples = combos[i]
-                    choice = self._route(request, examples, load)
-                except Exception:
-                    examples = []
-            bypassed = choice is None
-            if bypassed:
-                choice = self._bypass_choice(request)
-                self.stats.bypasses += 1
-            routed.append((examples, choice, bypassed))
-        return routed
-
-    def _generate_and_learn(self, request: Request, embedding: np.ndarray,
-                            examples: list[ScoredExample],
-                            choice: RoutingChoice,
-                            bypassed: bool) -> ServeOutcome:
-        """Generation + learning + admission shared by serve/serve_batch."""
-        model = self.models[choice.model_name]
-        offloaded = choice.model_name != self.large_name
-        choice.metadata["offloaded"] = offloaded
-        # Examples are prepended only when offloading (Algorithm 1); the
-        # outcome still carries the selected set so learning and shadow
-        # evaluation can reason about the counterfactual.
-        views = [s.example.view() for s in examples] if offloaded else []
-        result = model.generate(request, views)
-
-        outcome = ServeOutcome(
-            request=request, result=result, choice=choice,
-            examples=examples, bypassed=bypassed,
-        )
-        self._learn(outcome, embedding)
-        outcome.admitted_example = self.manager.admit(
-            request, result, embedding, self.arm_costs[choice.model_name]
-        )
-        self._record_stats(outcome)
-        return outcome
-
-    # -- the cluster-simulator path -----------------------------------------
+        return [self._outcome(ctx)
+                for ctx in self.pipeline.run_batch(requests, load)]
 
     def cluster_router(self):
         """A RouterFn for :class:`repro.serving.ClusterSimulator`."""
-
-        def route(request: Request, sim) -> tuple[str, list]:
-            embedding = self.embedder.embed(request.text, request.latent)
-            try:
-                examples = self._retrieve(embedding)
-                choice = self._route(request, examples, sim.total_load())
-            except Exception:
-                examples = []
-                choice = self._bypass_choice(request)
-                self.stats.bypasses += 1
-            return self._cluster_decision(request, embedding, examples, choice)
-
-        return route
+        return self.pipeline.cluster_router()
 
     def cluster_batch_router(self):
         """A batch RouterFn for the batched serving engine.
 
         Pass the returned callable to
-        :class:`repro.serving.engine.BatchedRetrievalEngine`: it embeds and
-        stage-1-retrieves a whole micro-batch at once, then routes each
-        request as :meth:`cluster_router` would — except that the cluster
-        load is sampled once per micro-batch, not per request: the
-        simulator enqueues nothing until the whole batch is routed, so
-        per-request sampling would read the same stale value anyway.
-        Micro-batching therefore coarsens the router's load signal to batch
-        granularity (bounded by ``max_batch``).
+        :class:`repro.serving.engine.BatchedRetrievalEngine`; see
+        :meth:`ICCachePipeline.cluster_batch_router` for the load-sampling
+        semantics.
         """
-
-        def route_batch(requests: list[Request], sim) -> list[tuple[str, list]]:
-            embeddings = [self.embedder.embed(r.text, r.latent)
-                          for r in requests]
-            routed = self._route_batch_with_bypass(requests, embeddings,
-                                                   sim.total_load())
-            return [
-                self._cluster_decision(request, embedding, examples, choice)
-                for request, embedding, (examples, choice, _)
-                in zip(requests, embeddings, routed)
-            ]
-
-        return route_batch
-
-    def _cluster_decision(self, request: Request, embedding: np.ndarray,
-                          examples: list[ScoredExample],
-                          choice: RoutingChoice) -> tuple[str, list]:
-        """Record a pending decision and shape it for the simulator."""
-        offloaded = choice.model_name != self.large_name
-        choice.metadata["offloaded"] = offloaded
-        self._pending[request.request_id] = (choice, examples, embedding)
-        views = [s.example.view() for s in examples] if offloaded else []
-        return choice.model_name, views
+        return self.pipeline.cluster_batch_router()
 
     def on_complete(self, request: Request, record: ServedRequest) -> None:
         """Completion callback for the cluster simulator: learn + admit."""
-        pending = self._pending.pop(request.request_id, None)
-        if pending is None:
-            return
-        choice, examples, embedding = pending
-        self.clock.advance_to(record.finish_s)
-        result = GenerationResult(
-            model_name=record.model_name,
-            quality=record.quality,
-            prompt_tokens=record.prompt_tokens,
-            output_tokens=record.output_tokens,
-            ttft_s=record.ttft_s,
-            decode_s=record.finish_s - record.start_s - record.ttft_s,
-            icl_boost=0.0,
-            n_examples=record.n_examples,
-            cost=record.cost,
-            text=f"[{record.model_name}] response to {request.request_id}: "
-                 + request.text[:120],
-        )
-        outcome = ServeOutcome(
-            request=request, result=result, choice=choice, examples=examples,
-        )
-        self._learn(outcome, embedding)
-        self.manager.admit(request, result, embedding,
-                           self.arm_costs[choice.model_name])
-        self._record_stats(outcome)
+        self.pipeline.on_complete(request, record)
 
-    # -- internals ------------------------------------------------------------
+    # -- the learning loops (pipeline after_complete hook) -------------------
 
-    def _retrieve(self, embedding: np.ndarray) -> list[ScoredExample]:
-        if not self.selector_enabled:
-            return []
-        return self.selector.select(embedding)
-
-    def _retrieve_batch(self, embeddings: list[np.ndarray]
-                        ) -> list[list[ScoredExample]]:
-        if not self.selector_enabled:
-            return [[] for _ in embeddings]
-        return self.selector.select_batch(np.stack(embeddings))
-
-    def _route(self, request: Request, examples: list[ScoredExample],
-               load: float | None) -> RoutingChoice:
-        if not self.router_enabled:
-            return self._fixed_choice(request, examples, self.small_name)
-        return self.router.route(request, examples, load)
-
-    def _bypass_choice(self, request: Request) -> RoutingChoice:
-        return RoutingChoice(
-            model_name=self.large_name,
-            features=routing_features(request, []),
-            mean_scores={}, biased_scores={},
-            solicit_feedback=False,
-        )
-
-    def _fixed_choice(self, request: Request, examples: list[ScoredExample],
-                      model_name: str) -> RoutingChoice:
-        return RoutingChoice(
-            model_name=model_name,
-            features=routing_features(request, examples),
-            mean_scores={}, biased_scores={},
-            solicit_feedback=False,
-        )
-
-    def _learn(self, outcome: ServeOutcome, embedding: np.ndarray) -> None:
+    def _learn(self, ctx) -> None:
         """All feedback-driven updates for one served request."""
-        choice = outcome.choice
-        quality = outcome.result.quality
+        choice = ctx.choice
+        quality = ctx.result.quality
 
         if self.router_enabled and choice.mean_scores:
             if choice.solicit_feedback and choice.challenger is not None:
-                self._solicited_update(outcome)
+                self._solicited_update(ctx)
             elif self._rng.uniform() < self.config.feedback_sample_rate:
                 rating = self.feedback.rating(quality)
                 self.router.update(choice.model_name, choice.features, rating)
@@ -415,8 +268,8 @@ class ICCacheService:
         # bookkeeping for every *repurposed* example (examples are only
         # prepended when the request was offloaded).
         small = self.models[self.small_name]
-        for scored in outcome.examples:
-            if outcome.offloaded:
+        for scored in ctx.examples:
+            if ctx.offloaded:
                 self.manager.record_use(
                     scored.example,
                     response_quality=quality,
@@ -425,38 +278,42 @@ class ICCacheService:
                 )
             if self._rng.uniform() < self.config.feedback_sample_rate:
                 true_utility = example_utility(
-                    outcome.request.latent,
+                    ctx.request.latent,
                     scored.example.view(),
-                    small.base_quality(outcome.request),
+                    small.base_quality(ctx.request),
                 )
                 observed = true_utility + self._rng.normal(
                     0.0, self.config.feedback_noise * 0.5
                 )
-                self.proxy.update(embedding, scored.example, observed)
+                self.proxy.update(ctx.embedding, scored.example, observed)
                 self.stats.proxy_updates += 1
 
-    def _solicited_update(self, outcome: ServeOutcome) -> None:
+    def _solicited_update(self, ctx) -> None:
         """Preference-feedback update on an uncertain routing decision.
 
         The challenger's response is generated shadow-style (offline cost);
         both arms are updated with their observed ratings, which is the
         information content of a preference pair under Bradley-Terry.
         """
-        choice = outcome.choice
+        choice = ctx.choice
         challenger_model = self.models[choice.challenger]
         offload_challenger = choice.challenger != self.large_name
-        views = [s.example.view() for s in outcome.examples] \
+        views = [s.example.view() for s in ctx.examples] \
             if offload_challenger else []
-        challenger_result = challenger_model.generate(outcome.request, views)
+        challenger_result = challenger_model.generate(ctx.request, views)
 
-        rating_chosen = self.feedback.rating(outcome.result.quality)
+        rating_chosen = self.feedback.rating(ctx.result.quality)
         rating_challenger = self.feedback.rating(challenger_result.quality)
         self.router.update(choice.model_name, choice.features, rating_chosen)
         self.router.update(choice.challenger, choice.features, rating_challenger)
         self.stats.router_updates += 2
 
-    def _record_stats(self, outcome: ServeOutcome) -> None:
-        self.stats.served += 1
-        if outcome.offloaded:
-            self.stats.offloaded += 1
-        self.stats.qualities.append(outcome.result.quality)
+    # -- internals ------------------------------------------------------------
+
+    @staticmethod
+    def _outcome(ctx) -> ServeOutcome:
+        return ServeOutcome(
+            request=ctx.request, result=ctx.result, choice=ctx.choice,
+            examples=ctx.examples, admitted_example=ctx.admitted_example,
+            bypassed=ctx.bypassed,
+        )

@@ -1,0 +1,86 @@
+"""String-keyed registry of pipeline components and full serving policies.
+
+Two granularities:
+
+* **Components** — ``retrieval`` / ``routing`` / ``admission`` /
+  ``middleware`` builders, swapped into an IC-Cache pipeline one stage at a
+  time (``ICCachePipeline.from_config(routing="routellm")``).  Component
+  builders receive the backing ``service=`` keyword so they can reuse its
+  selector, router, manager, and config.
+* **Policies** — ``policy`` builders that assemble a complete, ready-to-run
+  :class:`~repro.pipeline.core.ICCachePipeline` for one serving system
+  (``ic-cache``, ``semantic-cache``, ``rag``, ``routellm``,
+  ``naive-cache``).  This is how the figure benchmarks and the
+  registry-sweep test construct every system they compare.
+
+Importing :mod:`repro.pipeline` populates the registry with the built-in
+entries; user code adds its own with the same decorator::
+
+    from repro.pipeline import registry
+
+    @registry.register("routing", "always-small")
+    def _build(service, **kwargs):
+        return FixedModelRouting(service.small_name)
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+KINDS = ("retrieval", "routing", "admission", "middleware", "policy")
+
+_REGISTRY: dict[str, dict[str, Callable]] = {kind: {} for kind in KINDS}
+
+
+def register(kind: str, name: str) -> Callable[[Callable], Callable]:
+    """Decorator: register ``fn`` as the builder for ``(kind, name)``."""
+    _check_kind(kind)
+    if not name or not isinstance(name, str):
+        raise ValueError(f"component name must be a non-empty string: {name!r}")
+
+    def decorator(fn: Callable) -> Callable:
+        existing = _REGISTRY[kind].get(name)
+        if existing is not None and existing is not fn:
+            raise ValueError(f"{kind} component {name!r} already registered")
+        _REGISTRY[kind][name] = fn
+        return fn
+
+    return decorator
+
+
+def create(kind: str, name: str, **kwargs):
+    """Instantiate the registered builder for ``(kind, name)``."""
+    _check_kind(kind)
+    try:
+        builder = _REGISTRY[kind][name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY[kind])) or "<none>"
+        raise KeyError(
+            f"no {kind} component named {name!r}; registered: {known}"
+        ) from None
+    return builder(**kwargs)
+
+
+def build_policy(name: str, **kwargs):
+    """Assemble a complete serving pipeline for the named policy.
+
+    All builders accept ``config=`` (an :class:`ICCacheConfig`), ``models=``
+    (name -> SimulatedLLM, built from the config's model zoo entries when
+    omitted), ``dataset=`` (a :class:`SyntheticDataset`, used for e.g. the
+    RAG document corpus), and ``history=`` (requests to warm caches from);
+    policy-specific knobs ride along as extra keywords.
+    """
+    return create("policy", name, **kwargs)
+
+
+def available(kind: str | None = None) -> list[str]:
+    """Registered names for one kind (or all kinds when ``kind`` is None)."""
+    if kind is None:
+        return sorted({name for names in _REGISTRY.values() for name in names})
+    _check_kind(kind)
+    return sorted(_REGISTRY[kind])
+
+
+def _check_kind(kind: str) -> None:
+    if kind not in _REGISTRY:
+        raise ValueError(f"unknown component kind {kind!r}; kinds: {KINDS}")

@@ -15,7 +15,11 @@ from pathlib import Path
 import pytest
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-DOC_FILES = [REPO_ROOT / "README.md", REPO_ROOT / "docs" / "ARCHITECTURE.md"]
+DOC_FILES = [
+    REPO_ROOT / "README.md",
+    REPO_ROOT / "docs" / "ARCHITECTURE.md",
+    REPO_ROOT / "docs" / "PIPELINE.md",
+]
 
 _FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
 _IMPORT = re.compile(
