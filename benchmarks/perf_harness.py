@@ -1,0 +1,295 @@
+"""Serve hot-path performance harness: the repo's perf trajectory recorder.
+
+Measures the single-request serve loop the online figures (Fig. 12/13/20)
+exercise per request, at three levels:
+
+* **search** — vectorized :meth:`IVFIndex.search` (one ``block @ q`` product
+  per probed contiguous cluster block) against a reference per-candidate
+  Python loop (the pre-contiguous-layout implementation), at N examples;
+* **churn** — index maintenance cost: trained add/remove throughput
+  (O(1) swap-deletes against the cluster blocks) and a full K-Means retrain;
+* **serve** — steady-state end-to-end ``ICCacheService.serve`` throughput on
+  a seeded example bank (embedding + stage-1 IVF search + vectorized
+  stage-2 proxy scoring + routing + generation + learning).
+
+Results are written to ``BENCH_serve_hotpath.json`` so every future perf PR
+is measured against a recorded trajectory, and ``--check`` gates CI against
+``benchmarks/BENCH_serve_hotpath_baseline.json`` (>30% serve-throughput
+regressions fail).
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf_harness.py \
+        --sizes 1000 10000 --out BENCH_serve_hotpath.json \
+        --check benchmarks/BENCH_serve_hotpath_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.vectorstore.flat import FlatIndex, SearchResult
+from repro.vectorstore.ivf import IVFIndex
+
+DIM = 64
+TOP_K = 5
+N_TOPICS = 50
+SCHEMA = "serve_hotpath/v1"
+
+
+def clustered_vectors(n: int, dim: int = DIM, n_topics: int = N_TOPICS,
+                      seed: int = 0) -> np.ndarray:
+    """Topic-clustered unit vectors (the example cache's workload shape)."""
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(size=(n_topics, dim))
+    centers /= np.linalg.norm(centers, axis=1, keepdims=True)
+    vecs = centers[rng.integers(0, n_topics, size=n)]
+    vecs = vecs + rng.normal(0.0, 0.15, size=(n, dim))
+    return vecs / np.linalg.norm(vecs, axis=1, keepdims=True)
+
+
+def reference_search(index: IVFIndex, query: np.ndarray, k: int
+                     ) -> list[SearchResult]:
+    """The pre-PR trained-path loop: one Python dot product per candidate.
+
+    Kept as the harness's speedup denominator (and mirrored as the
+    correctness oracle in ``tests/test_vectorstore_equivalence.py``).
+    """
+    q = np.asarray(query, dtype=float).reshape(-1)
+    q = q / float(np.linalg.norm(q))
+    probe = np.argsort(-(index._centroids @ q))[:min(index.nprobe,
+                                                     index.n_clusters)]
+    candidates = [
+        SearchResult(key, float(index.get_vector(key) @ q))
+        for cluster in probe
+        for key in index._blocks[cluster].keys
+    ]
+    candidates.sort(key=lambda r: r.score, reverse=True)
+    return candidates[:k]
+
+
+def _best_of(fn, rounds: int = 3) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _built_index(n: int, seed: int = 0, nprobe: int = 4
+                 ) -> tuple[IVFIndex, float]:
+    vectors = clustered_vectors(n, seed=seed)
+    index = IVFIndex(dim=DIM, nprobe=nprobe, min_train_size=64, seed=seed)
+    start = time.perf_counter()
+    for i, vec in enumerate(vectors):
+        index.add(i, vec)
+    index.search(vectors[0], 1)  # force training inside the build timer
+    return index, time.perf_counter() - start
+
+
+def bench_search(n: int, seed: int = 0, n_queries: int = 200,
+                 index: IVFIndex | None = None) -> dict:
+    """Vectorized vs reference-loop single-query search at pool size ``n``."""
+    if index is None:
+        index, _ = _built_index(n, seed=seed)
+    queries = clustered_vectors(n_queries, seed=seed + 1)
+    # The reference loop is ~ms per query at large N; fewer repeats suffice.
+    ref_queries = queries[: min(n_queries, 50)]
+
+    t_vec = _best_of(lambda: [index.search(q, TOP_K) for q in queries])
+    t_ref = _best_of(
+        lambda: [reference_search(index, q, TOP_K) for q in ref_queries]
+    )
+    vec_us = t_vec / len(queries) * 1e6
+    ref_us = t_ref / len(ref_queries) * 1e6
+
+    flat = FlatIndex(DIM)
+    for key in range(n):
+        flat.add(key, index.get_vector(key))
+    hits = sum(
+        len({r.key for r in index.search(q, TOP_K)}
+            & {r.key for r in flat.search(q, TOP_K)})
+        for q in ref_queries
+    )
+    return {
+        "n": n,
+        "k_clusters": index.n_clusters,
+        "nprobe": index.nprobe,
+        "vectorized_us_per_query": vec_us,
+        "reference_loop_us_per_query": ref_us,
+        "speedup_vs_loop": ref_us / vec_us,
+        "qps": 1e6 / vec_us,
+        "recall_at_5_vs_flat": hits / (len(ref_queries) * TOP_K),
+    }
+
+
+def bench_churn(n: int, seed: int = 0,
+                built: tuple[IVFIndex, float] | None = None) -> dict:
+    """Index maintenance: build, trained add/remove ops, one full retrain.
+
+    Mutates the passed index (the final timing forces a retrain), so run it
+    after any bench sharing the same index.
+    """
+    index, build_s = built if built is not None else _built_index(n, seed=seed)
+    build_trainings = index.trainings
+
+    # Steady-state churn: trained add/remove pairs are pure O(1) block
+    # maintenance (retraining only ever happens inside search, so none can
+    # trigger mid-loop no matter how much churn accumulates).
+    pairs = min(2000, max(10, n // 10))
+    spare = clustered_vectors(pairs, seed=seed + 2)
+
+    start = time.perf_counter()
+    for i, vec in enumerate(spare):
+        index.add(("churn", i), vec)
+        index.remove(("churn", i))
+    churn_s = time.perf_counter() - start
+
+    # Force exactly one retrain on the next search and time it.
+    index._churn = max(1, int(index.retrain_threshold * len(index)))
+    start = time.perf_counter()
+    index.search(spare[0], 1)
+    retrain_s = time.perf_counter() - start
+    assert index.trainings == build_trainings + 1
+    return {
+        "n": n,
+        "build_s": build_s,
+        "trainings_during_build": build_trainings,
+        "add_remove_us_per_op": churn_s / (2 * pairs) * 1e6,
+        "retrain_s": retrain_s,
+    }
+
+
+def bench_serve(bank: int = 800, n_requests: int = 300, warmup: int = 50,
+                seed: int = 0) -> dict:
+    """Steady-state single-request ``ICCacheService.serve`` throughput."""
+    from harness import make_service
+
+    scale = max(0.001, bank / 800_000)  # ms_marco: ~809 bank requests/0.001
+    service, dataset = make_service("ms_marco", scale=scale, seed=seed,
+                                    seed_limit=bank)
+    seeded = len(service.cache)
+    requests = dataset.online_requests(warmup + n_requests)
+    for request in requests[:warmup]:
+        service.serve(request, load=0.3)
+    start = time.perf_counter()
+    for request in requests[warmup:]:
+        service.serve(request, load=0.3)
+    elapsed = time.perf_counter() - start
+    return {
+        "bank_examples": seeded,            # pool size as configured/seeded
+        "final_examples": len(service.cache),  # after online admissions
+        "n_requests": n_requests,
+        "us_per_request": elapsed / n_requests * 1e6,
+        "qps": n_requests / elapsed,
+    }
+
+
+def run(sizes: list[int], serve_bank: int = 800,
+        out_path: str | Path | None = None) -> dict:
+    """Run the full harness and (optionally) write the BENCH artifact."""
+    results = {
+        "schema": SCHEMA,
+        "created_unix": time.time(),
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "search": {},
+        "churn": {},
+        "serve": bench_serve(bank=serve_bank),
+    }
+    for n in sizes:
+        # One build (and one K-Means train) per size, shared by both benches;
+        # bench_churn runs last because it retrains the index it is handed.
+        built = _built_index(n)
+        results["search"][str(n)] = bench_search(n, index=built[0])
+        results["churn"][str(n)] = bench_churn(n, built=built)
+    if out_path is not None:
+        Path(out_path).write_text(json.dumps(results, indent=2) + "\n",
+                                  encoding="utf-8")
+    return results
+
+
+def check_against_baseline(results: dict, baseline: dict,
+                           max_regression: float = 0.30) -> list[str]:
+    """Regression failures versus a recorded baseline (empty list = pass).
+
+    Gates on single-request serve throughput (the ISSUE's headline number)
+    plus vectorized search throughput for every pool size both runs cover.
+    """
+    failures = []
+    floor = 1.0 - max_regression
+
+    base_qps = baseline.get("serve", {}).get("qps")
+    if base_qps:
+        got = results["serve"]["qps"]
+        if got < floor * base_qps:
+            failures.append(
+                f"serve throughput regressed: {got:.0f} qps < "
+                f"{floor:.0%} of baseline {base_qps:.0f} qps"
+            )
+    for n, base in baseline.get("search", {}).items():
+        current = results.get("search", {}).get(n)
+        if current is None or not base.get("qps"):
+            continue
+        if current["qps"] < floor * base["qps"]:
+            failures.append(
+                f"search qps at N={n} regressed: {current['qps']:.0f} < "
+                f"{floor:.0%} of baseline {base['qps']:.0f}"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", type=int, nargs="+",
+                        default=[1_000, 10_000, 50_000],
+                        help="example-pool sizes N for the index benches")
+    parser.add_argument("--serve-bank", type=int, default=800,
+                        help="seeded example-bank size for the serve bench")
+    parser.add_argument("--out", default="BENCH_serve_hotpath.json",
+                        help="output artifact path")
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="baseline JSON to gate regressions against")
+    parser.add_argument("--max-regression", type=float, default=0.30,
+                        help="allowed fractional throughput drop vs baseline")
+    args = parser.parse_args(argv)
+
+    results = run(args.sizes, serve_bank=args.serve_bank, out_path=args.out)
+    for n, row in results["search"].items():
+        print(f"search  N={n:>6}: {row['vectorized_us_per_query']:8.1f} us/q "
+              f"({row['qps']:8.0f} qps), {row['speedup_vs_loop']:5.1f}x vs "
+              f"loop, recall@5={row['recall_at_5_vs_flat']:.3f}")
+    for n, row in results["churn"].items():
+        print(f"churn   N={n:>6}: build {row['build_s']:6.2f}s "
+              f"({row['trainings_during_build']} trains), add/remove "
+              f"{row['add_remove_us_per_op']:6.1f} us/op, retrain "
+              f"{row['retrain_s']:6.2f}s")
+    serve = results["serve"]
+    print(f"serve   bank={serve['bank_examples']}: "
+          f"{serve['us_per_request']:.0f} us/request ({serve['qps']:.0f} qps)")
+    print(f"wrote {args.out}")
+
+    if args.check:
+        baseline = json.loads(Path(args.check).read_text(encoding="utf-8"))
+        failures = check_against_baseline(results, baseline,
+                                          args.max_regression)
+        for failure in failures:
+            print(f"REGRESSION: {failure}")
+        if failures:
+            return 1
+        print(f"baseline check passed ({args.check})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

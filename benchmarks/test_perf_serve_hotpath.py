@@ -1,0 +1,71 @@
+"""Perf — contiguous-array IVF single-request serve hot path.
+
+Not a paper figure: this bench guards the contiguous cluster-major layout's
+reason to exist and records the repo's perf trajectory.  The single-request
+serve path (every online figure exercises it per request) must not pay a
+Python-interpreter loop per candidate: one ``block @ q`` product per probed
+cluster replaces per-key ``get_vector`` dots, swap-delete replaces O(m)
+posting-list removal, and one proxy matrix product replaces per-candidate
+stage-2 ``predict`` calls.  Asserted here:
+
+* vectorized ``IVFIndex.search`` >= 5x the throughput of the reference
+  per-candidate loop (the pre-refactor implementation) at N=10k, dim=64;
+* trained add/remove stays O(1)-cheap (no retrain tripped mid-bench);
+* steady-state end-to-end ``serve`` throughput is recorded, and the full
+  result set is written to ``benchmarks/BENCH_serve_hotpath.json`` — the
+  artifact CI uploads and gates against the checked-in baseline.
+
+Set ``REPRO_PERF_FULL=1`` to extend the sweep to N=50k (a full K-Means
+retrain at that size takes minutes; the default keeps the bench suite fast).
+"""
+
+import json
+import os
+from pathlib import Path
+
+from harness import print_table, run_once
+from perf_harness import check_against_baseline, run
+
+BENCH_PATH = Path(__file__).resolve().parent / "BENCH_serve_hotpath.json"
+BASELINE_PATH = Path(__file__).resolve().parent / \
+    "BENCH_serve_hotpath_baseline.json"
+
+SIZES = [1_000, 10_000] + \
+    ([50_000] if os.environ.get("REPRO_PERF_FULL") else [])
+
+
+def test_perf_serve_hotpath(benchmark):
+    results = run_once(
+        benchmark, lambda: run(SIZES, serve_bank=800, out_path=BENCH_PATH)
+    )
+
+    print_table(
+        "Serve hot path: vectorized contiguous-cluster search vs Python loop",
+        ["N", "vectorized us/q", "loop us/q", "speedup", "qps",
+         "add/remove us/op", "retrain s"],
+        [[n, s["vectorized_us_per_query"], s["reference_loop_us_per_query"],
+          s["speedup_vs_loop"], s["qps"],
+          results["churn"][n]["add_remove_us_per_op"],
+          results["churn"][n]["retrain_s"]]
+         for n, s in results["search"].items()],
+    )
+    serve = results["serve"]
+    print(f"   end-to-end serve: {serve['us_per_request']:.0f} us/request "
+          f"({serve['qps']:.0f} qps, bank={serve['bank_examples']})")
+
+    # The tentpole claim: contiguous blocks beat the per-candidate loop.
+    speedup = results["search"]["10000"]["speedup_vs_loop"]
+    assert speedup >= 5.0, \
+        f"vectorized search only {speedup:.1f}x over the reference loop"
+
+    # Maintenance stays cheap: O(1) swap-delete, not O(cluster size).
+    for n, churn in results["churn"].items():
+        assert churn["add_remove_us_per_op"] < 500, \
+            f"add/remove at N={n} costs {churn['add_remove_us_per_op']:.0f} us"
+
+    # The serve path itself must clear the recorded regression gate.
+    assert serve["qps"] > 0
+    if BASELINE_PATH.is_file():
+        baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+        failures = check_against_baseline(results, baseline)
+        assert not failures, "; ".join(failures)

@@ -41,6 +41,14 @@ class ExampleCache:
         # `is None` matters: a freshly built index is empty, hence falsy.
         self._index = index if index is not None \
             else IVFIndex(dim=dim, nprobe=nprobe, seed=seed)
+        # Running plaintext-byte total, maintained on add/remove so the
+        # manager's admission/eviction path reads it in O(1) instead of
+        # summing the pool.  Per-example sizes are recorded at add time so
+        # the counter cannot drift even if an example's text is later
+        # mutated in place (replay refinement does exactly that); see
+        # :meth:`refresh_total_bytes` for the post-mutation reconcile.
+        self._total_bytes = 0
+        self._bytes_by_id: dict[str, int] = {}
 
     def __len__(self) -> int:
         return len(self._examples)
@@ -53,19 +61,37 @@ class ExampleCache:
 
     @property
     def total_bytes(self) -> int:
-        return sum(ex.plaintext_bytes for ex in self._examples.values())
+        """Plaintext bytes held, as a maintained O(1) running counter."""
+        return self._total_bytes
+
+    def refresh_total_bytes(self) -> int:
+        """Re-sync the byte counter with current example sizes.
+
+        Call after a pass that rewrites stored text in place (e.g. replay
+        refinement swapping in a better response); add/remove keep the
+        counter exact on their own.  Returns the refreshed total.
+        """
+        self._bytes_by_id = {
+            ex_id: ex.plaintext_bytes for ex_id, ex in self._examples.items()
+        }
+        self._total_bytes = sum(self._bytes_by_id.values())
+        return self._total_bytes
 
     def add(self, example: Example) -> None:
         if example.example_id in self._examples:
             raise KeyError(f"duplicate example id {example.example_id!r}")
         self._examples[example.example_id] = example
         self._index.add(example.example_id, example.embedding)
+        size = example.plaintext_bytes
+        self._bytes_by_id[example.example_id] = size
+        self._total_bytes += size
 
     def remove(self, example_id: str) -> Example:
         example = self._examples.pop(example_id, None)
         if example is None:
             raise KeyError(example_id)
         self._index.remove(example_id)
+        self._total_bytes -= self._bytes_by_id.pop(example_id)
         return example
 
     def get(self, example_id: str) -> Example:

@@ -139,5 +139,9 @@ class ExampleManager:
         """Run one off-peak replay pass (requires a configured engine)."""
         if self.replay_engine is None:
             raise RuntimeError("no replay engine configured on this manager")
-        return self.replay_engine.run(self.cache.examples(),
-                                      expected_reuse=expected_reuse)
+        outcome = self.replay_engine.run(self.cache.examples(),
+                                         expected_reuse=expected_reuse)
+        # Replay rewrites response texts in place; re-sync the cache's
+        # running byte counter so the eviction knapsack sees true sizes.
+        self.cache.refresh_total_bytes()
+        return outcome

@@ -93,9 +93,15 @@ class ExampleSelector:
 
     def _stage2(self, request_embedding: np.ndarray,
                 candidates: list[tuple[Example, float]]) -> list[ScoredExample]:
+        # One proxy matrix product scores the whole candidate list (both
+        # `select` and `select_batch` land here), replacing a per-candidate
+        # predict() loop on the serve hot path.
+        utilities = self.proxy.score_batch(
+            request_embedding, [example for example, _ in candidates]
+        )
         scored = []
-        for example, relevance in candidates:
-            utility = self.proxy.predict(request_embedding, example)
+        for (example, relevance), utility in zip(candidates, utilities):
+            utility = float(utility)
             scored.append(ScoredExample(example, relevance, utility))
             self._recent_scored.append((utility, example.tokens))
         # Size the rolling window in whole queries (pre_k candidates each) so

@@ -52,12 +52,16 @@ class LatentEmbedder:
             raise ValueError(f"noise_scale must be >= 0, got {noise_scale}")
         self.dim = dim
         self.noise_scale = noise_scale
+        # The latent-free fallback is stateless given (dim, seed); building
+        # it once here instead of per embed() call avoids regenerating its
+        # (buckets, dim) projection matrix on every free-text request.
+        self._fallback = HashingEmbedder(dim=dim)
 
     def embed(self, text: str, latent: np.ndarray | None = None) -> np.ndarray:
         if latent is None:
             # No latent available (e.g. free text typed by a user): degrade
             # gracefully to the hashing path at the same dimensionality.
-            return HashingEmbedder(dim=self.dim).embed(text)
+            return self._fallback.embed(text)
         vec = np.asarray(latent, dtype=float)
         if vec.shape != (self.dim,):
             raise ValueError(f"latent dim {vec.shape} != embedder dim ({self.dim},)")

@@ -6,11 +6,15 @@
 * :class:`IVFIndex` — inverted-file index: cluster the pool into K groups
   offline, search the ``nprobe`` nearest clusters online.  Section 4.1
   derives the matching-cost-minimizing K = sqrt(N), which is the default.
+  Posting lists are contiguous cluster-major blocks (FAISS-style), so a
+  single-query probe is one matrix-vector product and removal is an O(1)
+  swap-delete — see ``docs/PERFORMANCE.md``.
 * :class:`ShardedIndex` — hash-partitioned IVF shards with fan-out search
   and top-k merge; the production-scale layout the ROADMAP targets.
 
-All indexes expose both ``search`` (one query) and ``search_batch`` (one
-vectorized matmul for a whole micro-batch of queries).
+All indexes expose both ``search`` (one query, vectorized per probed
+cluster block) and ``search_batch`` (the same blocks multiplied once per
+querying subset for a whole micro-batch).
 """
 
 from repro.vectorstore.flat import FlatIndex, SearchResult

@@ -34,6 +34,7 @@ class FlatIndex:
         self._keys: list[object] = []
         self._key_to_row: dict[object, int] = {}
         self._vectors = np.empty((0, dim), dtype=float)  # capacity >= size
+        self._view: np.ndarray | None = None  # cached read-only matrix view
 
     def __len__(self) -> int:
         return len(self._keys)
@@ -51,10 +52,16 @@ class FlatIndex:
 
         A read-only view into index storage (no copy): callers such as
         :class:`repro.vectorstore.ivf.IVFIndex` slice it for vectorized
-        per-cluster scoring.  Do not mutate.
+        per-cluster scoring.  Do not mutate.  The view object is cached and
+        reused until the index grows, shrinks, or reallocates, so hot-path
+        callers pay nothing per access.
         """
-        view = self._vectors[: len(self._keys)]
-        view.flags.writeable = False
+        view = self._view
+        n = len(self._keys)
+        if view is None or view.shape[0] != n or view.base is not self._vectors:
+            view = self._vectors[:n]
+            view.flags.writeable = False
+            self._view = view
         return view
 
     def rows_of(self, keys: list[object]) -> np.ndarray:

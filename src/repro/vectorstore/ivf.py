@@ -5,6 +5,14 @@ K = sqrt(N) clusters; :func:`optimal_cluster_count` implements exactly that.
 The index clusters lazily: entries accumulate in the exact flat index until
 ``retrain_threshold`` inserts/removes have occurred, then K-Means re-runs in
 the background (here: synchronously on the next search).
+
+Storage is cluster-major and contiguous, FAISS-style (the section 5
+deployment note): every cluster owns a dense ``(m, dim)`` float64 block plus
+a parallel key array, so a single-query probe is one ``block @ q``
+matrix-vector product instead of a Python loop over posting-list keys, and
+``remove`` is an O(1) swap-delete against the block's key->row map.  The
+batched path (:meth:`IVFIndex.search_batch`) reuses the same blocks, scoring
+each probed cluster for all of its querying rows in one matmul.
 """
 
 from __future__ import annotations
@@ -25,12 +33,72 @@ def optimal_cluster_count(n: int) -> int:
     return max(1, int(round(math.sqrt(n))))
 
 
+class _ClusterBlock:
+    """One posting list as contiguous storage: a dense vector block plus keys.
+
+    ``keys[i]`` labels row ``i`` of the block; ``_pos`` inverts that mapping
+    so removal is an O(1) swap-with-last (the same scheme
+    :class:`~repro.vectorstore.flat.FlatIndex` uses for its global storage).
+    Capacity grows by doubling, so appends are amortized O(1).  ``keys`` is
+    the live list — callers may iterate it but must not mutate it.
+    """
+
+    __slots__ = ("keys", "_pos", "_vectors")
+
+    def __init__(self, dim: int, keys: list[object] | None = None,
+                 vectors: np.ndarray | None = None) -> None:
+        if keys is None:
+            self.keys: list[object] = []
+            self._pos: dict[object, int] = {}
+            self._vectors = np.empty((0, dim), dtype=float)
+        else:
+            self.keys = list(keys)
+            self._pos = {key: row for row, key in enumerate(self.keys)}
+            self._vectors = np.ascontiguousarray(vectors, dtype=float)
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def view(self) -> np.ndarray:
+        """The live (m, dim) block of member vectors (no copy)."""
+        return self._vectors[: len(self.keys)]
+
+    def append(self, key: object, vector: np.ndarray) -> None:
+        row = len(self.keys)
+        if row == self._vectors.shape[0]:  # grow capacity by doubling
+            grown = np.empty((max(8, 2 * row), self._vectors.shape[1]),
+                             dtype=float)
+            grown[:row] = self._vectors[:row]
+            self._vectors = grown
+        self._vectors[row] = vector
+        self._pos[key] = row
+        self.keys.append(key)
+
+    def remove(self, key: object) -> None:
+        row = self._pos.pop(key)
+        last = len(self.keys) - 1
+        if row != last:
+            moved = self.keys[last]
+            self.keys[row] = moved
+            self._vectors[row] = self._vectors[last]
+            self._pos[moved] = row
+        self.keys.pop()
+
+
 class IVFIndex:
     """Clustered approximate top-k cosine search with dynamic updates.
 
     Falls back to exact search while the pool is small (< ``min_train_size``)
     or right after heavy churn, mirroring how production ANN deployments keep
     a fresh segment alongside trained shards.
+
+    The flat index remains the single source of truth for *membership* and
+    the K-Means training data (its row order is what retraining clusters);
+    the per-cluster blocks are the serving layout derived from it.  Scores
+    are identical to a per-key Python loop up to BLAS accumulation order,
+    and candidate ordering — including tie-breaking — matches a per-key loop
+    over the same posting lists exactly (stable sort over cluster-probe
+    order, then block row order).
     """
 
     def __init__(self, dim: int, nprobe: int = 2, min_train_size: int = 64,
@@ -47,9 +115,9 @@ class IVFIndex:
 
         self._flat = FlatIndex(dim)
         self._centroids: np.ndarray | None = None
-        self._cluster_members: list[list[object]] = []
+        self._blocks: list[_ClusterBlock] = []
         self._key_to_cluster: dict[object, int] = {}
-        self._churn = 0  # inserts/removes since last (re)train
+        self._churn = 0  # churn events (insert/remove/overwrite) since last train
         self.trainings = 0  # exposed for tests/benchmarks
 
     def __len__(self) -> int:
@@ -66,30 +134,48 @@ class IVFIndex:
     def n_clusters(self) -> int:
         return 0 if self._centroids is None else self._centroids.shape[0]
 
+    @property
+    def cluster_sizes(self) -> list[int]:
+        """Members per cluster (empty while untrained); balance diagnostic."""
+        return [len(block) for block in self._blocks]
+
     def add(self, key: object, vector: np.ndarray) -> None:
+        """Insert ``key``; an overwrite of an existing key is ONE churn event
+        (not an internal remove plus an insert), so retrains keep the cadence
+        ``retrain_threshold`` promises."""
         if key in self._flat:
-            self.remove(key)
+            self._drop(key)
         self._flat.add(key, vector)
         self._churn += 1
         if self._centroids is not None:
             # Assign to nearest existing centroid without retraining.
             vec = self._flat.get_vector(key)
             cluster = int(np.argmax(self._centroids @ vec))
-            self._cluster_members[cluster].append(key)
+            self._blocks[cluster].append(key, vec)
             self._key_to_cluster[key] = cluster
 
     def remove(self, key: object) -> None:
-        self._flat.remove(key)
+        self._drop(key)
         self._churn += 1
+
+    def _drop(self, key: object) -> None:
+        """Remove ``key`` from storage without counting a churn event."""
+        self._flat.remove(key)
         cluster = self._key_to_cluster.pop(key, None)
         if cluster is not None:
-            self._cluster_members[cluster].remove(key)
+            self._blocks[cluster].remove(key)
 
     def get_vector(self, key: object) -> np.ndarray:
         return self._flat.get_vector(key)
 
     def search(self, query: np.ndarray, k: int) -> list[SearchResult]:
-        """Approximate top-k; exact while untrained or small."""
+        """Approximate top-k; exact while untrained or small.
+
+        Trained path: score the probed clusters with one ``block @ q``
+        matrix-vector product each, then take the top k with a *stable*
+        argsort so exact ties resolve in cluster-probe-then-row order —
+        the same order a per-key Python loop over the posting lists yields.
+        """
         self._maybe_train()
         if self._centroids is None:
             return self._flat.search(query, k)
@@ -103,23 +189,33 @@ class IVFIndex:
         centroid_scores = self._centroids @ q
         probe = np.argsort(-centroid_scores)[:nprobe]
 
-        candidates: list[SearchResult] = []
+        keys: list[object] = []
+        chunks: list[np.ndarray] = []
         for cluster in probe:
-            for key in self._cluster_members[cluster]:
-                score = float(self._flat.get_vector(key) @ q)
-                candidates.append(SearchResult(key, score))
-        candidates.sort(key=lambda r: r.score, reverse=True)
-        return candidates[:k]
+            block = self._blocks[cluster]
+            if not block.keys:
+                continue
+            # One vectorized product per probed cluster.  einsum, not BLAS
+            # gemv: its per-row accumulation is a pure function of row
+            # content, so identical vectors score identically wherever they
+            # sit in the block — BLAS kernels can differ in the last ulp by
+            # row position, which would break exact ties nondeterministically.
+            chunks.append(np.einsum("ij,j->i", block.view(), q))
+            keys.extend(block.keys)
+        if not chunks:
+            return []
+        scores = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+        top = np.argsort(-scores, kind="stable")[: min(k, len(keys))]
+        return [SearchResult(keys[i], float(scores[i])) for i in top]
 
     def search_batch(self, queries: np.ndarray, k: int) -> list[list[SearchResult]]:
         """Approximate top-``k`` for a micro-batch of queries.
 
-        Instead of scoring one candidate at a time (the per-request loop in
-        :meth:`search`), this scores centroids for the whole batch in one
-        matmul, groups queries by probed cluster, and runs one vectorized
-        ``members @ Q.T`` product per (cluster, querying-subset) pair — the
-        amortization that makes batched serving pay off (section 7's
-        throughput experiments assume exactly this).
+        Centroids are scored for the whole batch in one matmul, queries are
+        grouped by probed cluster, and each cluster's contiguous block is
+        multiplied once per querying subset (``Q_sub @ block.T``) — no
+        per-call row gathering, which is the amortization that makes batched
+        serving pay off (section 7's throughput experiments assume this).
         """
         self._maybe_train()
         q = np.atleast_2d(np.asarray(queries, dtype=float))
@@ -138,21 +234,20 @@ class IVFIndex:
         centroid_scores = q @ self._centroids.T  # (batch, K)
         probes = np.argpartition(-centroid_scores, nprobe - 1, axis=1)[:, :nprobe]
 
-        # Invert to cluster -> querying rows so each cluster's member matrix
-        # is gathered and multiplied once per batch, not once per query.
+        # Invert to cluster -> querying rows so each cluster's block is
+        # multiplied once per batch, not once per query.
         by_cluster: dict[int, list[int]] = defaultdict(list)
         for qi in np.flatnonzero(valid):
             for cluster in probes[qi]:
                 by_cluster[int(cluster)].append(int(qi))
 
         candidates: list[list[SearchResult]] = [[] for _ in range(n_queries)]
-        matrix = self._flat.matrix
         for cluster, rows in by_cluster.items():
-            members = self._cluster_members[cluster]
+            block = self._blocks[cluster]
+            members = block.keys
             if not members:
                 continue
-            sub = matrix[self._flat.rows_of(members)]       # (m, dim)
-            scores = q[rows] @ sub.T                        # (rows, m)
+            scores = q[rows] @ block.view().T               # (rows, m)
             m = len(members)
             keep = min(k, m)
             for row, qi in enumerate(rows):
@@ -184,16 +279,28 @@ class IVFIndex:
         if not stale:
             return
         keys = self._flat.keys
-        data = np.array(self._flat.matrix)  # rows align with ``keys``
+        matrix = self._flat.matrix  # rows align with ``keys``
         k = optimal_cluster_count(n)
-        result = KMeans(n_clusters=k, seed=self.seed).fit(data)
+        result = KMeans(n_clusters=k, seed=self.seed).fit(np.array(matrix))
         self._centroids = result.centroids / np.maximum(
             np.linalg.norm(result.centroids, axis=1, keepdims=True), 1e-12
         )
-        self._cluster_members = [[] for _ in range(self._centroids.shape[0])]
+        # Rebuild the cluster-major blocks: one contiguous gather per cluster,
+        # members in flat row order (the order a per-key rebuild would visit).
+        rows_by_cluster: list[list[int]] = [
+            [] for _ in range(self._centroids.shape[0])
+        ]
+        for row, label in enumerate(result.labels):
+            rows_by_cluster[int(label)].append(row)
+        self._blocks = []
         self._key_to_cluster = {}
-        for key, label in zip(keys, result.labels):
-            self._cluster_members[int(label)].append(key)
-            self._key_to_cluster[key] = int(label)
+        for cluster, rows in enumerate(rows_by_cluster):
+            block_keys = [keys[r] for r in rows]
+            self._blocks.append(_ClusterBlock(
+                self.dim, keys=block_keys,
+                vectors=matrix[np.asarray(rows, dtype=np.intp)],
+            ))
+            for key in block_keys:
+                self._key_to_cluster[key] = cluster
         self._churn = 0
         self.trainings += 1

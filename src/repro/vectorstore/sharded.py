@@ -77,10 +77,18 @@ class ShardedIndex:
             shard = stable_hash("shard-key", key) % self.n_shards
         return shard
 
+    @property
+    def trainings(self) -> int:
+        """Total K-Means (re)trains across all shards."""
+        return sum(shard.trainings for shard in self._shards)
+
     def add(self, key: object, vector: np.ndarray) -> None:
-        if key in self._key_to_shard:
-            self.remove(key)
-        shard = self.shard_of(key)
+        # Shard assignment is memoized, so an overwrite lands on the shard
+        # that already holds the key; delegating the overwrite to that shard
+        # lets it count one churn event, not a remove plus an insert.
+        shard = self._key_to_shard.get(key)
+        if shard is None:
+            shard = self.shard_of(key)
         self._shards[shard].add(key, vector)
         self._key_to_shard[key] = shard
 

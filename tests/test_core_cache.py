@@ -101,6 +101,33 @@ class TestExampleCache:
             cache.add(ex)
         assert cache.total_bytes == sum(e.plaintext_bytes for e in exs)
 
+    def test_total_bytes_counter_tracks_removal(self):
+        # total_bytes is a maintained running counter, not an O(N) sum; it
+        # must stay exact through interleaved adds and removals.
+        cache = ExampleCache(dim=64)
+        for i in range(4):
+            cache.add(make_example(example_id=f"ex-{i}", direction=i,
+                                   text="x " * (10 * (i + 1))))
+        cache.remove("ex-1")
+        cache.remove("ex-3")
+        assert cache.total_bytes == sum(e.plaintext_bytes for e in cache)
+
+    def test_refresh_total_bytes_resyncs_after_in_place_mutation(self):
+        # Replay refinement rewrites response_text in place; the counter is
+        # stale until refresh_total_bytes() (which run_replay invokes), and
+        # a later remove must not corrupt it in the meantime.
+        cache = ExampleCache(dim=64)
+        for i in range(3):
+            cache.add(make_example(example_id=f"ex-{i}", direction=i))
+        before = cache.total_bytes
+        cache.get("ex-0").response_text = "a much longer refined response " * 8
+        assert cache.total_bytes == before  # stale by design, not corrupted
+        cache.remove("ex-0")
+        assert cache.total_bytes == sum(e.plaintext_bytes for e in cache)
+        cache.get("ex-1").response_text = "refined " * 16
+        assert cache.refresh_total_bytes() \
+            == sum(e.plaintext_bytes for e in cache)
+
     def test_iteration(self):
         cache = ExampleCache(dim=64)
         for i in range(4):

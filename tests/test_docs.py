@@ -19,6 +19,7 @@ DOC_FILES = [
     REPO_ROOT / "README.md",
     REPO_ROOT / "docs" / "ARCHITECTURE.md",
     REPO_ROOT / "docs" / "PIPELINE.md",
+    REPO_ROOT / "docs" / "PERFORMANCE.md",
 ]
 
 _FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
