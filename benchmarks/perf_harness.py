@@ -10,7 +10,12 @@ exercise per request, at three levels:
   (O(1) swap-deletes against the cluster blocks) and a full K-Means retrain;
 * **serve** — steady-state end-to-end ``ICCacheService.serve`` throughput on
   a seeded example bank (embedding + stage-1 IVF search + vectorized
-  stage-2 proxy scoring + routing + generation + learning).
+  stage-2 proxy scoring + routing + generation + learning);
+* **runtime** — the event-driven serving runtime: raw
+  :class:`~repro.runtime.loop.EventLoop` dispatch throughput (events/sec)
+  and end-to-end simulated serving throughput through
+  :class:`~repro.serving.cluster.ClusterSimulator` (simulated
+  requests/sec on a trivial router, isolating scheduler overhead).
 
 Results are written to ``BENCH_serve_hotpath.json`` so every future perf PR
 is measured against a recorded trajectory, and ``--check`` gates CI against
@@ -192,6 +197,60 @@ def bench_serve(bank: int = 800, n_requests: int = 300, warmup: int = 50,
     }
 
 
+def bench_runtime(n_events: int = 100_000, n_requests: int = 5_000,
+                  seed: int = 0) -> dict:
+    """Event-loop dispatch and simulated-serving throughput.
+
+    ``events_per_s`` times raw ``EventLoop`` schedule+dispatch of no-op
+    events (the scheduler's floor); ``sim_requests_per_s`` times a full
+    :meth:`ClusterSimulator.run` over a trivial always-small router, so the
+    number includes queue/slot accounting, record construction, and the
+    simulated generation model — the per-request overhead every serving
+    figure pays before any IC-Cache work.
+    """
+    from repro.llm.zoo import get_model
+    from repro.runtime import EventLoop
+    from repro.serving.cluster import (
+        ClusterConfig,
+        ClusterSimulator,
+        ModelDeployment,
+    )
+    from repro.workload.datasets import SyntheticDataset
+
+    def drain_loop():
+        loop = EventLoop()
+        loop.on("tick", lambda event: None)
+        for i in range(n_events):
+            loop.schedule(float(i), "tick")
+        loop.run()
+
+    t_events = _best_of(drain_loop)
+
+    dataset = SyntheticDataset("ms_marco", scale=0.0005, seed=seed)
+    requests = dataset.online_requests(n_requests)
+    arrivals = [(0.05 * i, r) for i, r in enumerate(requests)]
+
+    def simulate():
+        sim = ClusterSimulator(ClusterConfig(
+            deployments=[
+                ModelDeployment(get_model("gemma-2-2b", seed=seed),
+                                replicas=8),
+            ],
+            gpu_budget=None,
+        ))
+        report = sim.run(arrivals, lambda request, s: ("gemma-2-2b", []))
+        assert report.n == n_requests
+        return report
+
+    t_sim = _best_of(simulate)
+    return {
+        "n_events": n_events,
+        "events_per_s": n_events / t_events,
+        "n_sim_requests": n_requests,
+        "sim_requests_per_s": n_requests / t_sim,
+    }
+
+
 def run(sizes: list[int], serve_bank: int = 800,
         out_path: str | Path | None = None) -> dict:
     """Run the full harness and (optionally) write the BENCH artifact."""
@@ -206,6 +265,7 @@ def run(sizes: list[int], serve_bank: int = 800,
         "search": {},
         "churn": {},
         "serve": bench_serve(bank=serve_bank),
+        "runtime": bench_runtime(),
     }
     for n in sizes:
         # One build (and one K-Means train) per size, shared by both benches;
@@ -246,6 +306,18 @@ def check_against_baseline(results: dict, baseline: dict,
                 f"search qps at N={n} regressed: {current['qps']:.0f} < "
                 f"{floor:.0%} of baseline {base['qps']:.0f}"
             )
+    base_runtime = baseline.get("runtime", {})
+    for key, label in (("events_per_s", "event-loop dispatch"),
+                       ("sim_requests_per_s", "simulated serving")):
+        base_val = base_runtime.get(key)
+        if not base_val:
+            continue
+        got = results.get("runtime", {}).get(key, 0.0)
+        if got < floor * base_val:
+            failures.append(
+                f"runtime {label} regressed: {got:.0f}/s < "
+                f"{floor:.0%} of baseline {base_val:.0f}/s"
+            )
     return failures
 
 
@@ -277,6 +349,11 @@ def main(argv: list[str] | None = None) -> int:
     serve = results["serve"]
     print(f"serve   bank={serve['bank_examples']}: "
           f"{serve['us_per_request']:.0f} us/request ({serve['qps']:.0f} qps)")
+    runtime = results["runtime"]
+    print(f"runtime events: {runtime['events_per_s']:,.0f}/s "
+          f"({runtime['n_events']} no-op dispatches), sim serving: "
+          f"{runtime['sim_requests_per_s']:,.0f} req/s "
+          f"({runtime['n_sim_requests']} requests)")
     print(f"wrote {args.out}")
 
     if args.check:

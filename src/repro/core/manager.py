@@ -87,6 +87,16 @@ class ExampleManager:
         example.offload_gain.update(1.0 if offloaded else 0.0)
         self._maybe_decay()
 
+    def apply_decay(self) -> None:
+        """Apply any elapsed decay periods now.
+
+        Decay normally piggybacks on :meth:`record_use`; online maintenance
+        (the runtime's maintenance tick) calls this directly so gain
+        statistics go stale on schedule even when an example sees no
+        repurposing traffic between ticks.
+        """
+        self._maybe_decay()
+
     def _maybe_decay(self) -> None:
         """Apply the hourly 0.9 decay to every example's gain statistics."""
         elapsed = self.clock.now - self._last_decay

@@ -249,6 +249,35 @@ class ICCacheService:
         """Completion callback for the cluster simulator: learn + admit."""
         self.pipeline.on_complete(request, record)
 
+    # -- online maintenance (section 4.3, run live by the runtime) -----------
+
+    def run_maintenance(self, replay: bool = True,
+                        expected_reuse: float = 20.0) -> dict:
+        """One cache-maintenance pass: decay, evict, optionally replay.
+
+        This is the section-4.3 lifecycle executed *during* serving — the
+        runtime's :class:`~repro.runtime.sources.MaintenanceTickSource`
+        calls it on a cadence (advance ``self.clock`` first so decay sees
+        true elapsed time).  After the manager's work, the pipeline's
+        ``on_maintenance`` middleware hook fires, preserving
+        :class:`~repro.pipeline.middleware.LearningHook` ordering for
+        lifecycle observers.  Returns a summary dict.
+        """
+        self.manager.apply_decay()
+        evicted = self.manager.enforce_capacity()
+        replay_outcome = None
+        if replay and self.manager.replay_engine is not None:
+            replay_outcome = self.manager.run_replay(
+                expected_reuse=expected_reuse
+            )
+        self.pipeline.run_maintenance(self)
+        return {
+            "evicted": evicted,
+            "replayed": replay_outcome.replayed if replay_outcome else 0,
+            "improved": replay_outcome.improved if replay_outcome else 0,
+            "examples": len(self.cache),
+        }
+
     # -- the learning loops (pipeline after_complete hook) -------------------
 
     def _learn(self, ctx) -> None:

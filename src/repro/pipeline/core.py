@@ -218,6 +218,19 @@ class ICCachePipeline:
         )
         self.complete(ctx, result)
 
+    # -- online maintenance ------------------------------------------------
+
+    def run_maintenance(self, service=None) -> None:
+        """Emit the ``on_maintenance`` middleware hook in registration order.
+
+        Called by ``ICCacheService.run_maintenance`` after a cache
+        maintenance pass (decay / eviction / replay) so middleware observes
+        lifecycle events through the same ordered chain as request hooks.
+        """
+        who = service if service is not None else self.service
+        for mw in self.middlewares:
+            mw.on_maintenance(who)
+
     # -- construction ------------------------------------------------------
 
     @classmethod

@@ -122,3 +122,15 @@ class ServeMiddleware:
 
     def after_complete(self, ctx: ServeContext) -> None:
         """``ctx.result`` is attached; runs before admission."""
+
+    def on_maintenance(self, service) -> None:
+        """An online maintenance pass (decay/evict/replay) just ran.
+
+        Fired by ``ICCacheService.run_maintenance`` through the same
+        middleware chain as the per-request hooks, so observers of cache
+        lifecycle events keep a stable ordering relative to
+        :class:`~repro.pipeline.middleware.LearningHook` — maintenance
+        never interleaves inside a request's hook sequence, it lands
+        between completed requests exactly where the runtime's
+        maintenance tick fired.
+        """

@@ -1,0 +1,49 @@
+"""Event-driven serving runtime: one deterministic scheduler for everything.
+
+The serving layer's online behaviours — trace replay, retrieval
+micro-batching, bias-signal autoscaling, cache maintenance — are all event
+processes over the same simulated clock.  This package provides the
+deterministic discrete-event core (:class:`EventLoop`) and the pluggable
+:class:`EventSource`\\ s that produce those events;
+:class:`repro.serving.cluster.ClusterSimulator` composes them into runs.
+
+Determinism rules (see ``docs/RUNTIME.md``):
+
+* same-time events dispatch in scheduling order (monotonic sequence
+  tie-break), so attach order is part of a scenario's definition;
+* sources read live state (flags, replica counts, cache contents) at event
+  time, never snapshots taken at construction;
+* tick trains are primed up-front over a bounded horizon, so runs terminate
+  and event counts are reproducible.
+"""
+
+from repro.runtime.loop import Event, EventLoop
+from repro.runtime.sources import (
+    ARRIVAL,
+    AUTOSCALE_TICK,
+    FINISH,
+    FLUSH,
+    MAINTENANCE_TICK,
+    AutoscalerTickSource,
+    BatchFlushSource,
+    EventSource,
+    MaintenanceTickSource,
+    ReplicaSample,
+    TraceArrivalSource,
+)
+
+__all__ = [
+    "Event",
+    "EventLoop",
+    "EventSource",
+    "TraceArrivalSource",
+    "BatchFlushSource",
+    "AutoscalerTickSource",
+    "MaintenanceTickSource",
+    "ReplicaSample",
+    "ARRIVAL",
+    "FLUSH",
+    "FINISH",
+    "AUTOSCALE_TICK",
+    "MAINTENANCE_TICK",
+]

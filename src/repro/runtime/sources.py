@@ -1,0 +1,309 @@
+"""Pluggable event sources for the serving runtime.
+
+Each source owns one concern of an online serving run and composes with the
+others on a shared :class:`~repro.runtime.loop.EventLoop`:
+
+* :class:`TraceArrivalSource` — replays a timestamped arrival sequence
+  (closed-loop trace replay or the open-loop Poisson/diurnal processes of
+  :mod:`repro.workload.trace`), routing each request per-request or handing
+  it to a :class:`BatchFlushSource`.
+* :class:`BatchFlushSource` — drives a
+  :class:`~repro.serving.engine.RequestBatcher` with the event clock: size
+  flushes happen inline, timeout flushes are scheduled events carrying a
+  generation stamp so stale timers no-op.
+* :class:`AutoscalerTickSource` — the paper's section-4.2 control loop made
+  live: on a fixed cadence it feeds the router's bias signal and the
+  cluster's utilization to a :class:`~repro.serving.autoscaler.BiasAutoscaler`
+  and *applies* the resulting :class:`ScalingDecision` to the deployment,
+  clamped to ``ClusterConfig.gpu_budget``.
+* :class:`MaintenanceTickSource` — periodic online cache maintenance
+  (decay/evict/replay) through ``ICCacheService.run_maintenance``, so the
+  section-4.3 lifecycle runs *during* serving instead of strictly offline.
+
+Sources read live state at event time, never snapshots taken at
+construction — benchmarks toggle ``service.router_enabled`` and friends
+mid-run, and the golden-path tests pin that those toggles take effect on
+the next event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Protocol, runtime_checkable
+
+from repro.runtime.loop import Event, EventLoop
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (serving -> runtime)
+    from repro.serving.autoscaler import BiasAutoscaler, ScalingDecision
+    from repro.serving.cluster import ClusterSimulator
+    from repro.serving.engine import BatchedRetrievalEngine
+    from repro.workload.request import Request
+
+# Event kinds the standard sources schedule.  Kinds are plain strings so
+# user-defined sources extend the vocabulary without touching this module.
+ARRIVAL = "arrival"
+FLUSH = "flush"
+FINISH = "finish"
+AUTOSCALE_TICK = "autoscale_tick"
+MAINTENANCE_TICK = "maintenance_tick"
+
+
+@runtime_checkable
+class EventSource(Protocol):
+    """Anything that can plug into a serving run.
+
+    ``attach(loop, cluster)`` is called once before the loop runs: register
+    handlers with :meth:`EventLoop.on` and schedule initial events.  Attach
+    order is the determinism contract for same-time events (insertion order
+    breaks ties), so compositions should attach arrival sources first.
+    """
+
+    def attach(self, loop: EventLoop, cluster: "ClusterSimulator") -> None:
+        ...
+
+
+def _dispatch_to_source(event: Event) -> None:
+    """Shared handler for source-owned kinds: payload is (source, data)."""
+    source, data = event.payload
+    source._on_event(data)
+
+
+def _register_dispatch(loop: EventLoop, kind: str) -> None:
+    """Idempotently register the per-source dispatcher for ``kind``.
+
+    The standard sources schedule their events with a ``(source, data)``
+    payload and share one dispatcher per kind, so several sources of the
+    same class compose on one loop (two arrival traces, autoscalers on two
+    tiers, ...) without fighting over the one-handler-per-kind rule.  A
+    *foreign* handler already claiming the kind is an error — reusing it
+    silently would route standard events to it (or vice versa) depending
+    on attach order.
+    """
+    existing = loop.handler(kind)
+    if existing is None:
+        loop.on(kind, _dispatch_to_source)
+    elif existing is not _dispatch_to_source:
+        raise ValueError(
+            f"event kind {kind!r} is already handled by {existing!r}, which "
+            "is not the shared per-source dispatcher; custom sources must "
+            "use their own event kinds"
+        )
+
+
+def _periodic(loop: EventLoop, source, kind: str, interval_s: float,
+              horizon_s: float) -> int:
+    """Schedule a bounded tick train for ``source``; returns the tick count.
+
+    Ticks are primed up-front (not self-rescheduled) so the loop drains
+    once real work is done and the event count stays bounded and
+    deterministic regardless of what handlers do.  Tick times are computed
+    on the ``i * interval_s`` grid — accumulating ``t += interval_s`` would
+    drift under float rounding and silently drop the final tick for
+    fractional intervals.
+    """
+    if interval_s <= 0:
+        raise ValueError(f"interval_s must be positive, got {interval_s}")
+    if horizon_s < 0:
+        raise ValueError(f"horizon_s must be >= 0, got {horizon_s}")
+    ticks = int(horizon_s / interval_s + 1e-9)
+    for i in range(1, ticks + 1):
+        loop.schedule(i * interval_s, kind, (source, None))
+    return ticks
+
+
+class TraceArrivalSource:
+    """Replays ``[(timestamp, request)]`` arrivals through the loop.
+
+    Exactly one of ``router`` (a per-request callable ``(request, cluster)
+    -> (model_name, examples)``) or ``sink`` (a :class:`BatchFlushSource`)
+    consumes the arrivals.  Use :meth:`from_trace` to expand an
+    :class:`~repro.workload.trace.ArrivalTrace` — including the open-loop
+    ``poisson_trace``/``diurnal_trace`` processes — into arrivals.
+    """
+
+    def __init__(self, arrivals: Iterable[tuple[float, "Request"]],
+                 router: Callable | None = None,
+                 sink: "BatchFlushSource | None" = None) -> None:
+        if (router is None) == (sink is None):
+            raise ValueError("provide exactly one of router= or sink=")
+        self.arrivals = list(arrivals)
+        self.router = router
+        self.sink = sink
+        self.emitted = 0
+
+    @classmethod
+    def from_trace(cls, trace, requests: Iterable["Request"], *,
+                   router: Callable | None = None,
+                   sink: "BatchFlushSource | None" = None,
+                   seed: int = 0) -> "TraceArrivalSource":
+        """Expand ``trace`` into Poisson arrival times over ``requests``.
+
+        The request list is truncated or the times are (whichever is
+        shorter), so open-loop processes with a random arrival count pair
+        safely with a finite request stream.
+        """
+        times = trace.arrival_times(seed=seed)
+        requests = list(requests)
+        n = min(len(times), len(requests))
+        return cls(list(zip(times[:n], requests[:n])), router=router, sink=sink)
+
+    def attach(self, loop: EventLoop, cluster: "ClusterSimulator") -> None:
+        self._loop = loop
+        self._cluster = cluster
+        _register_dispatch(loop, ARRIVAL)
+        for timestamp, request in self.arrivals:
+            loop.schedule(timestamp, ARRIVAL, (self, request))
+
+    def _on_event(self, request: "Request") -> None:
+        self.emitted += 1
+        if self.sink is not None:
+            self.sink.add(request)
+            return
+        model_name, examples = self.router(request, self._cluster)
+        queue = self._cluster.enqueue(model_name, request, examples,
+                                      self._loop.now)
+        self._cluster.drain(queue)
+
+
+class BatchFlushSource:
+    """Micro-batching over the event clock.
+
+    Wraps a :class:`~repro.serving.engine.RequestBatcher` built from the
+    engine's :class:`~repro.serving.engine.BatchPolicy`: a batch dispatches
+    inline the moment it reaches ``max_batch``, and the first item of every
+    batch arms a ``flush`` event at the batcher's deadline.  The event
+    carries the batcher's generation stamp, so a timer armed for a batch
+    that already size-flushed falls through as a no-op.
+    """
+
+    def __init__(self, engine: "BatchedRetrievalEngine") -> None:
+        self.engine = engine
+        self.batcher = engine.make_batcher()
+
+    def attach(self, loop: EventLoop, cluster: "ClusterSimulator") -> None:
+        self._loop = loop
+        self._cluster = cluster
+        _register_dispatch(loop, FLUSH)
+
+    def add(self, request: "Request") -> None:
+        """Park one arrival; dispatches or arms the timeout as needed."""
+        now = self._loop.now
+        opened = len(self.batcher) == 0
+        full = self.batcher.add((request, now), now)
+        if full is not None:
+            self._dispatch(full)
+        elif opened:
+            self._loop.schedule(self.batcher.deadline, FLUSH,
+                                (self, self.batcher.generation))
+
+    def _on_event(self, generation: int) -> None:
+        if self.batcher.generation != generation:
+            return  # stale timer: that batch already dispatched on size
+        batch = self.batcher.flush()
+        if batch:
+            self._dispatch(batch)
+
+    def _dispatch(self, batch: list[tuple["Request", float]]) -> None:
+        """Route a micro-batch; each request enqueues at its arrival time."""
+        requests = [request for request, _ in batch]
+        decisions = self.engine.route_batch(requests, self._cluster)
+        touched = []
+        for (request, arrival_s), (model_name, examples) in zip(batch,
+                                                                decisions):
+            touched.append(self._cluster.enqueue(model_name, request,
+                                                 examples, arrival_s))
+        for queue in touched:
+            self._cluster.drain(queue)
+
+
+class AutoscalerTickSource:
+    """Live autoscaling: observe the bias signal, apply replica changes.
+
+    Every ``interval_s`` up to ``horizon_s``, reads ``bias_fn()`` (typically
+    ``service.router.current_bias`` — the paper's "persistent magnitude of
+    this applied bias" signal) and the cluster's :meth:`total_load`, feeds
+    them to the :class:`BiasAutoscaler`, and applies any non-zero
+    :class:`ScalingDecision` to ``model_name``'s deployment through
+    :meth:`ClusterSimulator.apply_scaling` — which clamps scale-ups to the
+    GPU budget and scale-downs to one replica.  ``history`` records one
+    :class:`ReplicaSample` per tick for assertions and plots.
+    """
+
+    def __init__(self, autoscaler: BiasAutoscaler, model_name: str,
+                 bias_fn: Callable[[], float], *,
+                 interval_s: float, horizon_s: float) -> None:
+        self.autoscaler = autoscaler
+        self.model_name = model_name
+        self.bias_fn = bias_fn
+        self.interval_s = interval_s
+        self.horizon_s = horizon_s
+        self.history: list[ReplicaSample] = []
+
+    def attach(self, loop: EventLoop, cluster: "ClusterSimulator") -> None:
+        self._loop = loop
+        self._cluster = cluster
+        _register_dispatch(loop, AUTOSCALE_TICK)
+        _periodic(loop, self, AUTOSCALE_TICK, self.interval_s, self.horizon_s)
+
+    def _on_event(self, _: None) -> None:
+        bias = max(0.0, float(self.bias_fn()))
+        utilization = self._cluster.total_load()
+        decision = self.autoscaler.observe(bias, utilization)
+        applied = 0
+        if decision.replicas_delta != 0:
+            applied = self._cluster.apply_scaling(self.model_name,
+                                                  decision.replicas_delta)
+        queue_depl = self._cluster.deployment(self.model_name)
+        self.history.append(ReplicaSample(
+            time_s=self._loop.now,
+            decision=decision,
+            applied_delta=applied,
+            replicas=queue_depl.replicas,
+            total_gpus=self._cluster.total_gpus(),
+        ))
+
+
+@dataclass(slots=True)
+class ReplicaSample:
+    """One autoscaler tick's outcome (for assertions and time-series plots)."""
+
+    time_s: float
+    decision: "ScalingDecision"
+    applied_delta: int
+    replicas: int
+    total_gpus: int
+
+
+class MaintenanceTickSource:
+    """Online cache maintenance on a fixed cadence.
+
+    Every ``interval_s`` up to ``horizon_s``: advance the service clock to
+    simulated now (so gain decay sees true elapsed time) and run one
+    ``ICCacheService.run_maintenance`` pass — capacity enforcement plus,
+    when ``replay=True``, a section-4.3 replay sweep.  The pass emits the
+    pipeline's ``on_maintenance`` middleware hook, preserving
+    ``LearningHook`` ordering for observers of cache lifecycle events.
+    """
+
+    def __init__(self, service, *, interval_s: float, horizon_s: float,
+                 replay: bool = True, expected_reuse: float = 20.0) -> None:
+        self.service = service
+        self.interval_s = interval_s
+        self.horizon_s = horizon_s
+        self.replay = replay
+        self.expected_reuse = expected_reuse
+        self.history: list[dict] = []
+
+    def attach(self, loop: EventLoop, cluster: "ClusterSimulator") -> None:
+        self._loop = loop
+        _register_dispatch(loop, MAINTENANCE_TICK)
+        _periodic(loop, self, MAINTENANCE_TICK, self.interval_s,
+                  self.horizon_s)
+
+    def _on_event(self, _: None) -> None:
+        self.service.clock.advance_to(self._loop.now)
+        outcome = self.service.run_maintenance(
+            replay=self.replay, expected_reuse=self.expected_reuse
+        )
+        outcome["time_s"] = self._loop.now
+        self.history.append(outcome)

@@ -4,11 +4,11 @@ The paper's serving experiments need queueing behaviour, not GPU kernels: a
 fixed GPU budget is partitioned into model replicas; each replica sustains a
 bounded number of concurrent requests (continuous-batching slots); requests
 queue FIFO per model; latency = queue wait + TTFT + decode.  The simulator
-reproduces exactly that, driven by arrival traces from
-:mod:`repro.workload.trace` and a pluggable routing policy — either a
-per-request router or the batched retrieval engine of
-:mod:`repro.serving.engine`, which micro-batches arrivals so retrieval work
-amortizes across requests.
+reproduces exactly that over the deterministic event runtime of
+:mod:`repro.runtime`: arrival traces from :mod:`repro.workload.trace`, the
+micro-batching engine of :mod:`repro.serving.engine`, live bias-signal
+autoscaling (:mod:`repro.serving.autoscaler`), and online cache maintenance
+all compose as event sources on one loop.
 """
 
 from repro.serving.cluster import ClusterConfig, ClusterSimulator, ModelDeployment
@@ -17,8 +17,8 @@ from repro.serving.engine import (
     BatchPolicy,
     RequestBatcher,
 )
-from repro.serving.records import ServedRequest, ServingReport
-from repro.serving.metrics import windowed_series
+from repro.serving.records import ScalingEvent, ServedRequest, ServingReport
+from repro.serving.metrics import replica_series, windowed_series
 from repro.serving.autoscaler import BiasAutoscaler, ScalingDecision
 
 __all__ = [
@@ -28,8 +28,10 @@ __all__ = [
     "BatchedRetrievalEngine",
     "BatchPolicy",
     "RequestBatcher",
+    "ScalingEvent",
     "ServedRequest",
     "ServingReport",
+    "replica_series",
     "windowed_series",
     "BiasAutoscaler",
     "ScalingDecision",

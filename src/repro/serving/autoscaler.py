@@ -11,6 +11,12 @@ and recommends replica-count changes for the small-model tier (scaling the
 cheap tier is how IC-Cache absorbs load).  It is deliberately conservative:
 hysteresis on both thresholds plus a cooldown between actions, the standard
 guards against oscillation.
+
+Live application: :class:`repro.runtime.sources.AutoscalerTickSource` runs
+this control loop on the event clock during a serving run and applies each
+:class:`ScalingDecision` through
+:meth:`repro.serving.cluster.ClusterSimulator.apply_scaling`, which clamps
+scale-ups to the cluster's GPU budget and scale-downs to one replica.
 """
 
 from __future__ import annotations

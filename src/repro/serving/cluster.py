@@ -1,17 +1,26 @@
-"""The discrete-event cluster simulator."""
+"""The serving cluster: queues, replicas, and live scaling over the runtime.
+
+Since the event-runtime refactor, the scheduling core lives in
+:mod:`repro.runtime` — a deterministic :class:`~repro.runtime.loop.EventLoop`
+plus pluggable event sources — and :class:`ClusterSimulator` is a thin
+composition over it: the simulator owns cluster *state* (per-model FIFO
+queues, continuous-batching slot accounting, the run report) and the event
+*handlers* that mutate it, while arrivals, batch flushes, autoscaler ticks,
+and maintenance ticks are produced by the sources attached to a run.
+"""
 
 from __future__ import annotations
 
-import heapq
-import itertools
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable
+from dataclasses import dataclass
+from typing import Callable, Sequence
 
 from repro.llm.icl import ExampleView
 from repro.llm.model import SimulatedLLM
-from repro.serving.engine import BatchedRetrievalEngine, RequestBatcher
-from repro.serving.records import ServedRequest, ServingReport
+from repro.runtime.loop import Event, EventLoop
+from repro.runtime.sources import FINISH, BatchFlushSource, TraceArrivalSource
+from repro.serving.engine import BatchedRetrievalEngine
+from repro.serving.records import ScalingEvent, ServedRequest, ServingReport
 from repro.workload.request import Request
 
 # A routing decision: which model serves the request, with which examples.
@@ -27,6 +36,8 @@ class ModelDeployment:
     between small-model replicas (many, cheap) and large-model replicas
     (few, expensive); each replica sustains ``batch_slots`` concurrent
     requests, the continuous-batching abstraction of a vLLM worker.
+    ``replicas`` is live state: :meth:`ClusterSimulator.apply_scaling`
+    changes it mid-run when an autoscaler source drives the cluster.
     """
 
     model: SimulatedLLM
@@ -53,6 +64,8 @@ class ClusterConfig:
 
     The default budget is 16, the paper's 16xA100 evaluation cluster
     (section 6); pass ``gpu_budget=None`` for unconstrained what-if sweeps.
+    The same budget bounds *live* scale-ups applied during a run (see
+    :meth:`ClusterSimulator.apply_scaling`).
     """
 
     deployments: list[ModelDeployment]
@@ -90,31 +103,46 @@ class _ModelQueue:
 
 
 class ClusterSimulator:
-    """Replays an arrival sequence through queues and replicas.
+    """Cluster state and event handlers over the deterministic runtime.
 
     The event model behind the paper's serving experiments (section 6's
-    16xA100 cluster, Fig. 12/13): ``arrival`` routes a request and enqueues
-    it; ``finish`` frees a continuous-batching slot and starts queued work;
-    ``flush`` dispatches a retrieval micro-batch when a
-    :class:`~repro.serving.engine.BatchedRetrievalEngine` is driving routing
-    (the batcher's timeout is just another event).  The router callback sees
-    the live simulator, so load-aware policies can read :meth:`load` /
-    :meth:`total_load` at decision time — this is the signal the paper's
-    Request Router (section 4.2) biases on.
+    16xA100 cluster, Fig. 12/13): an ``arrival`` routes a request and
+    enqueues it; a ``finish`` frees a continuous-batching slot and starts
+    queued work; a ``flush`` dispatches a retrieval micro-batch; autoscale
+    and maintenance ticks adjust capacity and curate the cache mid-run.
+    Routing callbacks see the live simulator, so load-aware policies read
+    :meth:`load` / :meth:`total_load` at decision time — the signal the
+    paper's Request Router (section 4.2) biases on, and via
+    :meth:`apply_scaling` the same signal resizes deployments live.
+
+    :meth:`run` keeps the pre-runtime signature (arrivals + router) and
+    composes the standard sources; :meth:`run_sources` accepts any
+    :class:`~repro.runtime.sources.EventSource` composition for richer
+    scenarios (open-loop load, live autoscaling, online maintenance).
     """
 
     def __init__(self, config: ClusterConfig) -> None:
         self.config = config
         self._queues = {d.model.name: _ModelQueue(d) for d in config.deployments}
-        self.now = 0.0
-        self._events: list = []
-        self._seq = itertools.count()
+        self._loop: EventLoop | None = None
+        self._events_prior = 0   # processed by earlier runs' loops
         self.report = ServingReport()
         self.dropped: list[str] = []
         self._on_complete: Callable[[Request, ServedRequest], None] | None = None
-        self._batcher: RequestBatcher | None = None
 
-    # ----- state the router can read -----------------------------------
+    # ----- state the router (and sources) can read ----------------------
+
+    @property
+    def now(self) -> float:
+        """Simulated time of the active (or last) run."""
+        return self._loop.now if self._loop is not None else 0.0
+
+    @property
+    def events_processed(self) -> int:
+        """Events dispatched across this simulator's runs (cumulative,
+        consistent with the accumulative :attr:`report`)."""
+        current = self._loop.processed if self._loop is not None else 0
+        return self._events_prior + current
 
     def load(self, model_name: str) -> float:
         return self._queue(model_name).load
@@ -131,6 +159,9 @@ class ClusterSimulator:
     def total_gpus(self) -> int:
         return sum(q.deployment.total_gpus for q in self._queues.values())
 
+    def deployment(self, model_name: str) -> ModelDeployment:
+        return self._queue(model_name).deployment
+
     # ----- simulation ---------------------------------------------------
 
     def run(self, arrivals: list[tuple[float, Request]],
@@ -146,77 +177,48 @@ class ClusterSimulator:
         ``on_complete`` fires as each request finishes (simulation order), so
         online-learning policies can ingest feedback with realistic delay.
         """
+        if hasattr(router, "route_batch"):
+            sink = BatchFlushSource(router)
+            sources = [TraceArrivalSource(arrivals, sink=sink), sink]
+        else:
+            sources = [TraceArrivalSource(arrivals, router=router)]
+        return self.run_sources(sources, on_complete=on_complete)
+
+    def run_sources(self, sources: Sequence,
+                    on_complete: Callable[[Request, ServedRequest], None] | None = None,
+                    ) -> ServingReport:
+        """Drive an event-source composition to completion.
+
+        Builds a fresh :class:`~repro.runtime.loop.EventLoop`, registers the
+        cluster's own ``finish`` handler, attaches ``sources`` in order
+        (attach order breaks same-time ties — put arrival sources first),
+        and runs until the event heap drains.  Queue/replica state, the
+        report, and :attr:`events_processed` carry over across runs on one
+        simulator (matching the pre-runtime accumulation semantics); use a
+        fresh ``ClusterSimulator`` per independently-measured run.
+        """
+        if self._loop is not None:
+            self._events_prior += self._loop.processed
+        loop = EventLoop()
+        self._loop = loop
         self._on_complete = on_complete
-        batched = hasattr(router, "route_batch")
-        if batched:
-            self._batcher = router.make_batcher()
-        for timestamp, request in arrivals:
-            self._push(timestamp, "arrival", (request, router))
-        while self._events:
-            timestamp, _, kind, payload = heapq.heappop(self._events)
-            self.now = timestamp
-            if kind == "arrival":
-                if batched:
-                    self._handle_batched_arrival(*payload)
-                else:
-                    self._handle_arrival(*payload)
-            elif kind == "flush":
-                self._handle_flush(*payload)
-            else:
-                self._handle_finish(payload)
+        loop.on(FINISH, self._handle_finish)
+        for source in sources:
+            source.attach(loop, self)
+        loop.run()
         return self.report
 
-    def _push(self, timestamp: float, kind: str, payload) -> None:
-        heapq.heappush(self._events, (timestamp, next(self._seq), kind, payload))
+    # ----- host surface the event sources drive --------------------------
 
-    def _queue(self, model_name: str) -> _ModelQueue:
-        try:
-            return self._queues[model_name]
-        except KeyError:
-            known = ", ".join(self._queues)
-            raise KeyError(f"model {model_name!r} not deployed; have: {known}") from None
-
-    def _handle_arrival(self, request: Request, router: RouterFn) -> None:
-        model_name, examples = router(request, self)
+    def enqueue(self, model_name: str, request: Request,
+                examples: list[ExampleView], arrival_s: float) -> _ModelQueue:
+        """Queue a routed request; returns its queue (callers drain it)."""
         queue = self._queue(model_name)
-        queue.pending.append((request, examples, self.now))
-        self._drain(queue)
+        queue.pending.append((request, examples, arrival_s))
+        return queue
 
-    def _handle_batched_arrival(self, request: Request,
-                                engine: BatchedRetrievalEngine) -> None:
-        opened = len(self._batcher) == 0
-        full = self._batcher.add((request, self.now), self.now)
-        if full is not None:
-            self._dispatch_batch(full, engine)
-        elif opened:
-            # First item of a new batch: arm its timeout flush.  The
-            # generation stamp lets a stale timer (batch already size-
-            # flushed) fall through as a no-op.
-            self._push(self._batcher.deadline, "flush",
-                       (engine, self._batcher.generation))
-
-    def _handle_flush(self, engine: BatchedRetrievalEngine,
-                      generation: int) -> None:
-        if self._batcher.generation != generation:
-            return  # that batch already dispatched on size
-        batch = self._batcher.flush()
-        if batch:
-            self._dispatch_batch(batch, engine)
-
-    def _dispatch_batch(self, batch: list[tuple[Request, float]],
-                        engine: BatchedRetrievalEngine) -> None:
-        """Route a micro-batch and enqueue each request at its arrival time."""
-        requests = [request for request, _ in batch]
-        decisions = engine.route_batch(requests, self)
-        touched = []
-        for (request, arrival_s), (model_name, examples) in zip(batch, decisions):
-            queue = self._queue(model_name)
-            queue.pending.append((request, examples, arrival_s))
-            touched.append(queue)
-        for queue in touched:
-            self._drain(queue)
-
-    def _drain(self, queue: _ModelQueue) -> None:
+    def drain(self, queue: _ModelQueue) -> None:
+        """Start queued work while free continuous-batching slots remain."""
         while queue.pending and queue.free_slots > 0:
             request, examples, arrival_s = queue.pending.popleft()
             queue.in_service += 1
@@ -234,16 +236,60 @@ class ClusterSimulator:
                 n_examples=result.n_examples,
                 cost=result.cost,
             )
-            self._push(
-                record.finish_s, "finish",
+            self._loop.schedule(
+                record.finish_s, FINISH,
                 (queue.deployment.model.name, record, request),
             )
 
-    def _handle_finish(self, payload) -> None:
-        model_name, record, request = payload
+    def apply_scaling(self, model_name: str, replicas_delta: int) -> int:
+        """Apply a live replica-count change, clamped to the GPU budget.
+
+        Scale-ups never push the cluster past ``config.gpu_budget`` (the
+        change is truncated to whatever headroom remains); scale-downs
+        never drop below one replica.  In-flight requests keep their slots
+        — after a scale-down a deployment can transiently run more requests
+        than its new slot count, and simply starts no new work until it
+        drains back under.  Returns the delta actually applied and records
+        a :class:`~repro.serving.records.ScalingEvent` when non-zero.
+        """
+        queue = self._queue(model_name)
+        deployment = queue.deployment
+        target = deployment.replicas + replicas_delta
+        budget = self.config.gpu_budget
+        if budget is not None and replicas_delta > 0:
+            headroom = budget - (self.total_gpus() - deployment.total_gpus)
+            target = min(target, headroom // deployment.model.spec.gpus_per_replica)
+        target = max(1, target)
+        applied = target - deployment.replicas
+        if applied != 0:
+            deployment.replicas = target
+            self.report.scaling.append(ScalingEvent(
+                time_s=self.now,
+                model_name=model_name,
+                requested_delta=replicas_delta,
+                applied_delta=applied,
+                replicas=target,
+                total_gpus=self.total_gpus(),
+            ))
+            if applied > 0:
+                # New capacity starts queued work immediately.
+                self.drain(queue)
+        return applied
+
+    # ----- internals ------------------------------------------------------
+
+    def _queue(self, model_name: str) -> _ModelQueue:
+        try:
+            return self._queues[model_name]
+        except KeyError:
+            known = ", ".join(self._queues)
+            raise KeyError(f"model {model_name!r} not deployed; have: {known}") from None
+
+    def _handle_finish(self, event: Event) -> None:
+        model_name, record, request = event.payload
         queue = self._queue(model_name)
         queue.in_service -= 1
         self.report.records.append(record)
         if self._on_complete is not None:
             self._on_complete(request, record)
-        self._drain(queue)
+        self.drain(queue)

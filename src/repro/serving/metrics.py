@@ -70,3 +70,21 @@ def offload_ratio_fn(small_models: set[str]) -> Callable[[list[ServedRequest]], 
 def mean_latency_fn(records: list[ServedRequest]) -> float:
     """Window aggregator: average end-to-end latency."""
     return float(np.mean([r.e2e_latency_s for r in records]))
+
+
+def replica_series(report: ServingReport, model_name: str,
+                   initial_replicas: int) -> WindowedSeries:
+    """The replica-count step function of one model across a run.
+
+    Built from the report's :class:`~repro.serving.records.ScalingEvent`
+    timeline (live autoscaling runs); ``times`` are the instants the count
+    changed, starting at t=0 with ``initial_replicas``.
+    """
+    times = [0.0]
+    values = [float(initial_replicas)]
+    for event in report.scaling:
+        if event.model_name != model_name:
+            continue
+        times.append(event.time_s)
+        values.append(float(event.replicas))
+    return WindowedSeries(times=np.asarray(times), values=np.asarray(values))

@@ -50,6 +50,25 @@ class ServedRequest:
         return self.queue_wait_s + self.ttft_s
 
 
+@dataclass(frozen=True)
+class ScalingEvent:
+    """One applied replica-count change during a run.
+
+    Emitted by :meth:`ClusterSimulator.apply_scaling` whenever a live
+    :class:`~repro.serving.autoscaler.ScalingDecision` actually changes a
+    deployment — ``applied_delta`` can be smaller than ``requested_delta``
+    when the GPU budget clamps a scale-up (or the one-replica floor clamps
+    a scale-down).
+    """
+
+    time_s: float
+    model_name: str
+    requested_delta: int
+    applied_delta: int
+    replicas: int        # replica count after the change
+    total_gpus: int      # cluster-wide GPUs after the change
+
+
 @dataclass
 class ServingReport:
     """Aggregates over one simulated run.
@@ -58,9 +77,12 @@ class ServingReport:
     throughput and latency summaries (Fig. 12), offload ratio against a
     named small-model set (Fig. 12a), per-model splits (Fig. 20's
     serving-load panels), and total serving cost (the Fig. 13 Pareto axis).
+    ``scaling`` is the timeline of live replica changes when an
+    :class:`~repro.runtime.sources.AutoscalerTickSource` drove the run.
     """
 
     records: list[ServedRequest] = field(default_factory=list)
+    scaling: list[ScalingEvent] = field(default_factory=list)
 
     @property
     def n(self) -> int:

@@ -23,7 +23,13 @@ from repro.workload.datasets import (
     SyntheticDataset,
     get_profile,
 )
-from repro.workload.trace import ArrivalTrace, azure_like_trace, evaluation_trace
+from repro.workload.trace import (
+    ArrivalTrace,
+    azure_like_trace,
+    diurnal_trace,
+    evaluation_trace,
+    poisson_trace,
+)
 from repro.workload.feedback import FeedbackSimulator, PreferenceFeedback
 from repro.workload.preprocess import deduplicate, filter_non_english, preprocess
 from repro.workload.drift import DriftingWorkload
@@ -38,7 +44,9 @@ __all__ = [
     "get_profile",
     "ArrivalTrace",
     "azure_like_trace",
+    "diurnal_trace",
     "evaluation_trace",
+    "poisson_trace",
     "FeedbackSimulator",
     "PreferenceFeedback",
     "deduplicate",

@@ -101,6 +101,64 @@ def azure_like_trace(duration_hours: float = 42.0, mean_rps: float = 2.0,
     return ArrivalTrace(bucket_seconds=60.0, rates_per_second=rates)
 
 
+def poisson_trace(duration_s: float, rate_rps: float,
+                  bucket_seconds: float = 10.0) -> ArrivalTrace:
+    """A constant-rate open-loop Poisson arrival process.
+
+    The memoryless baseline of queueing analysis: the rate series is flat,
+    and :meth:`ArrivalTrace.arrival_times` draws the Poisson counts and
+    uniform placements.  Use it for open-loop load experiments where the
+    closed-loop trace shapes (diurnal envelope, bursts) would confound the
+    effect under study.
+    """
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be positive: {duration_s}")
+    if rate_rps < 0:
+        raise ValueError(f"rate_rps must be >= 0: {rate_rps}")
+    if bucket_seconds <= 0:
+        raise ValueError(f"bucket_seconds must be positive: {bucket_seconds}")
+    buckets = max(1, int(round(duration_s / bucket_seconds)))
+    return ArrivalTrace(
+        bucket_seconds=duration_s / buckets,
+        rates_per_second=np.full(buckets, float(rate_rps)),
+    )
+
+
+def diurnal_trace(duration_s: float, mean_rps: float,
+                  period_s: float = 86_400.0, peak_to_trough: float = 4.0,
+                  burstiness: float = 0.0, bucket_seconds: float = 30.0,
+                  seed: int = 0) -> ArrivalTrace:
+    """An open-loop diurnal arrival process (compressible day length).
+
+    A sinusoidal envelope whose peak-to-trough ratio is exactly
+    ``peak_to_trough``, optionally roughened by lognormal minute-noise
+    (``burstiness > 0``), normalized to ``mean_rps``.  Unlike
+    :func:`azure_like_trace` the period is a parameter, so serving
+    experiments can compress a "day" into minutes of simulated time —
+    the load shape behind the live-autoscaling scenarios, where the
+    router's bias signal must rise at the peak and relax at the trough.
+    """
+    if duration_s <= 0 or period_s <= 0:
+        raise ValueError("duration_s and period_s must be positive")
+    if peak_to_trough < 1.0:
+        raise ValueError(f"peak_to_trough must be >= 1, got {peak_to_trough}")
+    if bucket_seconds <= 0:
+        raise ValueError(f"bucket_seconds must be positive: {bucket_seconds}")
+    buckets = max(2, int(round(duration_s / bucket_seconds)))
+    t = (np.arange(buckets) + 0.5) * (duration_s / buckets)
+    # Amplitude a with (1+a)/(1-a) == peak_to_trough; trough at t=0 so a
+    # run starts calm, peaks mid-period, and relaxes again.
+    a = (peak_to_trough - 1.0) / (peak_to_trough + 1.0)
+    envelope = 1.0 + a * np.sin(2 * np.pi * t / period_s - np.pi / 2)
+    if burstiness > 0:
+        rng = make_rng(stable_hash("diurnal-trace", seed, buckets))
+        envelope = envelope * rng.lognormal(0.0, 0.3 * burstiness,
+                                            size=buckets)
+    rates = envelope / envelope.mean() * mean_rps
+    return ArrivalTrace(bucket_seconds=duration_s / buckets,
+                        rates_per_second=rates)
+
+
 def evaluation_trace(duration_minutes: float = 30.0, mean_rps: float = 1.0,
                      seed: int = 0) -> ArrivalTrace:
     """The 30-minute evaluation window of Fig. 22: bursty, half-minute buckets.

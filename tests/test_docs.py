@@ -20,6 +20,7 @@ DOC_FILES = [
     REPO_ROOT / "docs" / "ARCHITECTURE.md",
     REPO_ROOT / "docs" / "PIPELINE.md",
     REPO_ROOT / "docs" / "PERFORMANCE.md",
+    REPO_ROOT / "docs" / "RUNTIME.md",
 ]
 
 _FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)

@@ -1,10 +1,13 @@
 """Unit tests for distribution drift (section 8) and the bias autoscaler
-(section 4.2's auto-scaling signal)."""
+(section 4.2's auto-scaling signal), including live application of
+:class:`ScalingDecision` under the cluster's GPU budget."""
 
 import numpy as np
 import pytest
 
+from repro.llm.zoo import get_model
 from repro.serving.autoscaler import BiasAutoscaler
+from repro.serving.cluster import ClusterConfig, ClusterSimulator, ModelDeployment
 from repro.workload.datasets import SyntheticDataset
 from repro.workload.drift import DriftingWorkload
 
@@ -97,6 +100,75 @@ class TestBiasAutoscaler:
         scaler = BiasAutoscaler()
         with pytest.raises(ValueError):
             scaler.observe(bias=-1.0, utilization=0.5)
+
+
+class TestScalingApplication:
+    """Applying ScalingDecisions live, clamped to the GPU budget."""
+
+    @staticmethod
+    def _cluster(small_replicas=2, budget=16):
+        # gemma-2-2b: 1 GPU/replica; gemma-2-27b: 8 GPUs/replica.  With one
+        # large replica and a 16-GPU budget the small tier caps at 8.
+        return ClusterSimulator(ClusterConfig(
+            deployments=[
+                ModelDeployment(get_model("gemma-2-2b"),
+                                replicas=small_replicas),
+                ModelDeployment(get_model("gemma-2-27b"), replicas=1),
+            ],
+            gpu_budget=budget,
+        ))
+
+    def test_scale_up_applies_within_budget(self):
+        sim = self._cluster(small_replicas=2)
+        assert sim.apply_scaling("gemma-2-2b", +2) == 2
+        assert sim.deployment("gemma-2-2b").replicas == 4
+        assert sim.total_gpus() == 12
+        event = sim.report.scaling[-1]
+        assert (event.requested_delta, event.applied_delta) == (2, 2)
+
+    def test_scale_up_clamped_at_budget_not_overprovisioned(self):
+        sim = self._cluster(small_replicas=7)
+        # Requesting +2 with 1 GPU of headroom applies only +1 ...
+        assert sim.apply_scaling("gemma-2-2b", +2) == 1
+        assert sim.deployment("gemma-2-2b").replicas == 8
+        assert sim.total_gpus() == 16
+        # ... and at the ceiling further scale-ups are no-ops (no event).
+        n_events = len(sim.report.scaling)
+        assert sim.apply_scaling("gemma-2-2b", +2) == 0
+        assert sim.total_gpus() == 16
+        assert len(sim.report.scaling) == n_events
+
+    def test_scale_down_floors_at_one_replica(self):
+        sim = self._cluster(small_replicas=2)
+        assert sim.apply_scaling("gemma-2-2b", -5) == -1
+        assert sim.deployment("gemma-2-2b").replicas == 1
+        assert sim.apply_scaling("gemma-2-2b", -1) == 0
+
+    def test_unbudgeted_cluster_scales_freely(self):
+        sim = self._cluster(small_replicas=2, budget=None)
+        assert sim.apply_scaling("gemma-2-2b", +20) == 20
+        assert sim.deployment("gemma-2-2b").replicas == 22
+
+    def test_unknown_model_raises(self):
+        sim = self._cluster()
+        with pytest.raises(KeyError):
+            sim.apply_scaling("nonexistent-model", +1)
+
+    def test_autoscaler_decisions_drive_cluster_within_budget(self):
+        # The full control loop, no traffic: sustained saturating bias must
+        # walk the small tier up to the budget ceiling and stop there.
+        sim = self._cluster(small_replicas=2)
+        scaler = BiasAutoscaler(cooldown_steps=0, ema_alpha=1.0)
+        for _ in range(20):
+            decision = scaler.observe(bias=3.0, utilization=0.95)
+            if decision.replicas_delta:
+                sim.apply_scaling("gemma-2-2b", decision.replicas_delta)
+            assert sim.total_gpus() <= 16
+        assert sim.deployment("gemma-2-2b").replicas == 8
+        # The recommendation overshoots the budget; the application clamps.
+        assert scaler.net_replicas_delta > 6
+        applied = sum(e.applied_delta for e in sim.report.scaling)
+        assert applied == 6
 
 
 class TestRouterBiasSignal:

@@ -1,0 +1,356 @@
+"""Unit tests for the event runtime: loop determinism and the sources."""
+
+import pytest
+
+from repro.core.config import ICCacheConfig, ManagerConfig
+from repro.core.service import ICCacheService
+from repro.llm.zoo import get_model
+from repro.runtime import (
+    AutoscalerTickSource,
+    Event,
+    EventLoop,
+    MaintenanceTickSource,
+    TraceArrivalSource,
+)
+from repro.serving.autoscaler import BiasAutoscaler
+from repro.serving.cluster import ClusterConfig, ClusterSimulator, ModelDeployment
+from repro.workload.datasets import SyntheticDataset
+
+from tests.conftest import make_request
+
+
+def small_cluster(replicas_small=2, replicas_large=1, budget=None):
+    return ClusterSimulator(ClusterConfig(
+        deployments=[
+            ModelDeployment(get_model("gemma-2-2b"), replicas=replicas_small),
+            ModelDeployment(get_model("gemma-2-27b"), replicas=replicas_large),
+        ],
+        gpu_budget=budget,
+    ))
+
+
+def always(model_name):
+    def router(request, sim):
+        return model_name, []
+    return router
+
+
+class TestEventLoop:
+    def test_time_order(self):
+        loop = EventLoop()
+        seen = []
+        loop.on("e", lambda ev: seen.append(ev.payload))
+        loop.schedule(2.0, "e", "late")
+        loop.schedule(1.0, "e", "early")
+        loop.run()
+        assert seen == ["early", "late"]
+        assert loop.now == 2.0
+
+    def test_same_time_ties_break_by_scheduling_order(self):
+        # The determinism contract: equal timestamps dispatch in insertion
+        # order, regardless of payload content or hash seed.
+        loop = EventLoop()
+        seen = []
+        loop.on("e", lambda ev: seen.append(ev.payload))
+        for i in range(50):
+            loop.schedule(1.0, "e", i)
+        loop.run()
+        assert seen == list(range(50))
+
+    def test_handlers_can_schedule_followups(self):
+        loop = EventLoop()
+        seen = []
+
+        def chain(event: Event) -> None:
+            seen.append((loop.now, event.payload))
+            if event.payload < 3:
+                loop.schedule(loop.now + 1.0, "chain", event.payload + 1)
+
+        loop.on("chain", chain)
+        loop.schedule(0.0, "chain", 0)
+        loop.run()
+        assert seen == [(0.0, 0), (1.0, 1), (2.0, 2), (3.0, 3)]
+
+    def test_unknown_kind_raises(self):
+        loop = EventLoop()
+        loop.schedule(0.0, "mystery")
+        with pytest.raises(KeyError, match="mystery"):
+            loop.run()
+
+    def test_duplicate_handler_rejected(self):
+        loop = EventLoop()
+        loop.on("e", lambda ev: None)
+        with pytest.raises(ValueError):
+            loop.on("e", lambda ev: None)
+
+    def test_schedule_into_past_rejected(self):
+        loop = EventLoop()
+        loop.on("e", lambda ev: None)
+        loop.schedule(5.0, "e")
+        loop.run()
+        with pytest.raises(ValueError):
+            loop.schedule(1.0, "e")
+
+    def test_counters(self):
+        loop = EventLoop()
+        loop.on("e", lambda ev: None)
+        for t in range(5):
+            loop.schedule(float(t), "e")
+        assert len(loop) == 5 and loop.scheduled == 5
+        assert loop.run() == 5
+        assert loop.processed == 5 and len(loop) == 0
+
+    def test_run_returns_per_call_count_on_reuse(self):
+        loop = EventLoop()
+        loop.on("e", lambda ev: None)
+        for t in range(5):
+            loop.schedule(float(t), "e")
+        assert loop.run() == 5
+        for t in range(3):
+            loop.schedule(loop.now + 1.0 + t, "e")
+        assert loop.run() == 3          # this call's events, not the total
+        assert loop.processed == 8      # lifetime total
+
+
+class TestTraceArrivalSource:
+    def test_requires_exactly_one_consumer(self):
+        with pytest.raises(ValueError):
+            TraceArrivalSource([], router=None, sink=None)
+        with pytest.raises(ValueError):
+            TraceArrivalSource([], router=always("m"), sink=object())
+
+    def test_run_sources_matches_run(self):
+        # run() is now a thin composition over run_sources(); both must
+        # produce identical reports for the same arrival sequence.
+        arrivals = [(i * 0.1, make_request(request_id=f"r{i}"))
+                    for i in range(30)]
+        via_run = small_cluster().run(arrivals, always("gemma-2-2b"))
+        sim = small_cluster()
+        via_sources = sim.run_sources(
+            [TraceArrivalSource(arrivals, router=always("gemma-2-2b"))]
+        )
+        snap = lambda rep: [(r.request_id, r.start_s, r.finish_s)  # noqa: E731
+                            for r in rep.records]
+        assert snap(via_run) == snap(via_sources)
+        assert sim.events_processed == 2 * len(arrivals)  # arrival + finish
+
+    def test_reused_simulator_accumulates_report_and_event_count(self):
+        # Back-to-back runs on one simulator accumulate (the pre-runtime
+        # semantics): records, scaling timeline, and events_processed all
+        # grow together rather than drifting out of sync.
+        sim = small_cluster()
+        first = [(i * 0.1, make_request(request_id=f"a{i}")) for i in range(5)]
+        second = [(i * 0.1, make_request(request_id=f"b{i}"))
+                  for i in range(3)]
+        sim.run_sources([TraceArrivalSource(first, router=always("gemma-2-2b"))])
+        assert sim.report.n == 5 and sim.events_processed == 10
+        sim.run_sources([TraceArrivalSource(second,
+                                            router=always("gemma-2-2b"))])
+        assert sim.report.n == 8 and sim.events_processed == 16
+
+    def test_two_arrival_sources_compose_on_one_loop(self):
+        # Foreground trace + background load: same event kind, two sources;
+        # the shared per-source dispatcher keeps them independent.
+        fg = [(i * 0.2, make_request(request_id=f"fg{i}")) for i in range(10)]
+        bg = [(0.1 + i * 0.5, make_request(request_id=f"bg{i}"))
+              for i in range(4)]
+        sim = small_cluster()
+        fg_source = TraceArrivalSource(fg, router=always("gemma-2-2b"))
+        bg_source = TraceArrivalSource(bg, router=always("gemma-2-27b"))
+        report = sim.run_sources([fg_source, bg_source])
+        assert report.n == 14
+        assert fg_source.emitted == 10 and bg_source.emitted == 4
+        by_model = report.by_model()
+        assert by_model["gemma-2-2b"].n == 10
+        assert by_model["gemma-2-27b"].n == 4
+
+    def test_foreign_handler_on_standard_kind_rejected(self):
+        # A custom source must not silently capture (or be captured by) the
+        # standard sources' events: claiming a standard kind with a foreign
+        # handler errors loudly regardless of attach order.
+        class Rogue:
+            def attach(self, loop, cluster):
+                loop.on("arrival", lambda event: None)
+
+        arrivals = [(0.0, make_request())]
+        source = TraceArrivalSource(arrivals, router=always("gemma-2-2b"))
+        with pytest.raises(ValueError, match="per-source dispatcher"):
+            small_cluster().run_sources([Rogue(), source])
+
+    def test_from_trace_pairs_times_with_requests(self):
+        from repro.workload.trace import poisson_trace
+
+        dataset = SyntheticDataset("ms_marco", scale=0.0005, seed=1)
+        trace = poisson_trace(duration_s=60.0, rate_rps=1.0)
+        requests = dataset.online_requests(200)
+        source = TraceArrivalSource.from_trace(
+            trace, requests, router=always("gemma-2-2b"), seed=4
+        )
+        times = [t for t, _ in source.arrivals]
+        assert times == sorted(times)
+        assert len(source.arrivals) <= 200
+        report = small_cluster().run_sources([source])
+        assert report.n == len(source.arrivals)
+
+
+class TestAutoscalerTickSource:
+    def test_ticks_respect_horizon_and_record_history(self):
+        sim = small_cluster(budget=16)
+        ticks = AutoscalerTickSource(
+            BiasAutoscaler(cooldown_steps=0), "gemma-2-2b",
+            bias_fn=lambda: 0.0, interval_s=1.0, horizon_s=5.0,
+        )
+        sim.run_sources([ticks])
+        assert [s.time_s for s in ticks.history] == [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert all(s.total_gpus <= 16 for s in ticks.history)
+
+    def test_fractional_interval_keeps_the_final_tick(self):
+        # Grid-computed tick times: accumulating floats would drop the tick
+        # at t=0.3 (0.1+0.1+0.1 > 0.3 in binary).
+        sim = small_cluster()
+        ticks = AutoscalerTickSource(
+            BiasAutoscaler(cooldown_steps=0), "gemma-2-2b",
+            bias_fn=lambda: 0.0, interval_s=0.1, horizon_s=0.3,
+        )
+        sim.run_sources([ticks])
+        assert len(ticks.history) == 3
+        assert ticks.history[-1].time_s == pytest.approx(0.3)
+
+    def test_two_tick_sources_compose_on_one_loop(self):
+        # Autoscalers on both tiers share the autoscale_tick kind.
+        sim = small_cluster(budget=None)
+        small_ticks = AutoscalerTickSource(
+            BiasAutoscaler(cooldown_steps=0, ema_alpha=1.0), "gemma-2-2b",
+            bias_fn=lambda: 3.0, interval_s=1.0, horizon_s=3.0,
+        )
+        large_ticks = AutoscalerTickSource(
+            BiasAutoscaler(cooldown_steps=0, ema_alpha=1.0), "gemma-2-27b",
+            bias_fn=lambda: 3.0, interval_s=1.0, horizon_s=3.0,
+        )
+        sim.run_sources([small_ticks, large_ticks])
+        assert len(small_ticks.history) == len(large_ticks.history) == 3
+        assert sim.deployment("gemma-2-2b").replicas > 2
+        assert sim.deployment("gemma-2-27b").replicas > 1
+
+    def test_sustained_bias_grows_replicas_within_budget(self):
+        # 2 small replicas (1 GPU each) + one 27B replica (8 GPUs) under a
+        # 16-GPU budget: headroom is 6 more small replicas, never more.
+        sim = small_cluster(replicas_small=2, budget=16)
+        ticks = AutoscalerTickSource(
+            BiasAutoscaler(cooldown_steps=0, ema_alpha=1.0), "gemma-2-2b",
+            bias_fn=lambda: 3.0, interval_s=1.0, horizon_s=30.0,
+        )
+        sim.run_sources([ticks])
+        assert sim.deployment("gemma-2-2b").replicas == 8
+        assert sim.total_gpus() == 16
+        assert max(s.total_gpus for s in ticks.history) <= 16
+        clamped = [s for s in ticks.history
+                   if s.decision.replicas_delta > s.applied_delta]
+        assert clamped, "the budget clamp never engaged"
+
+    def test_bias_fn_read_live_not_snapshotted(self):
+        # The signal callable must be consulted at every tick, so mid-run
+        # changes (ablation toggles, router learning) take effect.
+        sim = small_cluster(budget=None)
+        biases = iter([0.0, 0.0, 3.0, 3.0, 3.0, 3.0])
+        ticks = AutoscalerTickSource(
+            BiasAutoscaler(cooldown_steps=0, ema_alpha=1.0), "gemma-2-2b",
+            bias_fn=lambda: next(biases), interval_s=1.0, horizon_s=6.0,
+        )
+        sim.run_sources([ticks])
+        actions = [s.decision.action for s in ticks.history]
+        assert actions[0] != "scale_up" and "scale_up" in actions
+
+
+class TestMaintenanceTickSource:
+    def _service(self) -> tuple[ICCacheService, SyntheticDataset]:
+        service = ICCacheService(ICCacheConfig(
+            seed=9, manager=ManagerConfig(sanitize=False),
+        ))
+        dataset = SyntheticDataset("ms_marco", scale=0.0005, seed=9)
+        service.seed_cache(dataset.example_bank_requests()[:60])
+        return service, dataset
+
+    def test_maintenance_runs_on_cadence_and_advances_clock(self):
+        service, dataset = self._service()
+        arrivals = [(i * 1.0, r)
+                    for i, r in enumerate(dataset.online_requests(30))]
+        sim = ClusterSimulator(ClusterConfig(deployments=[
+            ModelDeployment(service.models[service.small_name], replicas=4),
+            ModelDeployment(service.models[service.large_name], replicas=1),
+        ]))
+        maintenance = MaintenanceTickSource(service, interval_s=10.0,
+                                            horizon_s=30.0, replay=False)
+        report = sim.run_sources(
+            [TraceArrivalSource(arrivals, router=service.cluster_router()),
+             maintenance],
+            on_complete=service.on_complete,
+        )
+        assert report.n == 30
+        assert [h["time_s"] for h in maintenance.history] == [10.0, 20.0, 30.0]
+        assert service.clock.now >= 30.0
+
+    def test_replay_pass_touches_cache_online(self):
+        service, dataset = self._service()
+        # Repurpose some examples first so replay has gain estimates.
+        for request in dataset.online_requests(30):
+            service.serve(request, load=0.2)
+        outcome = service.run_maintenance(replay=True)
+        assert outcome["examples"] == len(service.cache)
+        assert outcome["replayed"] >= 0
+
+    def test_on_maintenance_hook_fires_through_middleware_chain(self):
+        from repro.pipeline.middleware import LearningHook
+        from repro.pipeline.protocols import ServeMiddleware
+
+        class Recorder(ServeMiddleware):
+            def __init__(self):
+                self.maintenance_calls = 0
+
+            def on_maintenance(self, service) -> None:
+                self.maintenance_calls += 1
+
+        service, _ = self._service()
+        recorder = Recorder()
+        service.pipeline.middlewares.append(recorder)
+        # LearningHook ordering preserved: the hook list is untouched by
+        # maintenance, and maintenance dispatch walks it in order.
+        assert any(isinstance(m, LearningHook)
+                   for m in service.pipeline.middlewares)
+        service.run_maintenance(replay=False)
+        assert recorder.maintenance_calls == 1
+
+
+class TestComposedDeterminism:
+    def test_full_scenario_is_bit_stable_across_runs(self):
+        """Arrivals + autoscaling + maintenance: same seeds, same bits."""
+
+        def run_once():
+            service = ICCacheService(ICCacheConfig(
+                seed=13, manager=ManagerConfig(sanitize=False),
+            ))
+            dataset = SyntheticDataset("ms_marco", scale=0.0005, seed=13)
+            service.seed_cache(dataset.example_bank_requests()[:60])
+            arrivals = [(i * 0.5, r)
+                        for i, r in enumerate(dataset.online_requests(40))]
+            sim = ClusterSimulator(ClusterConfig(deployments=[
+                ModelDeployment(service.models[service.small_name], replicas=2),
+                ModelDeployment(service.models[service.large_name], replicas=1),
+            ], gpu_budget=16))
+            sources = [
+                TraceArrivalSource(arrivals, router=service.cluster_router()),
+                AutoscalerTickSource(
+                    BiasAutoscaler(cooldown_steps=1), service.small_name,
+                    service.router.current_bias,
+                    interval_s=2.0, horizon_s=25.0,
+                ),
+                MaintenanceTickSource(service, interval_s=8.0, horizon_s=25.0,
+                                      replay=True),
+            ]
+            report = sim.run_sources(sources, on_complete=service.on_complete)
+            return ([(r.request_id, r.model_name, r.quality, r.finish_s)
+                     for r in report.records],
+                    [(e.time_s, e.applied_delta, e.replicas)
+                     for e in report.scaling])
+
+        assert run_once() == run_once()

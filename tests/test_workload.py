@@ -9,7 +9,13 @@ from repro.workload.datasets import DATASET_PROFILES, SyntheticDataset, get_prof
 from repro.workload.feedback import FeedbackSimulator
 from repro.workload.request import Request, TaskType
 from repro.workload.topics import TopicModel
-from repro.workload.trace import ArrivalTrace, azure_like_trace, evaluation_trace
+from repro.workload.trace import (
+    ArrivalTrace,
+    azure_like_trace,
+    diurnal_trace,
+    evaluation_trace,
+    poisson_trace,
+)
 
 from tests.conftest import make_request
 
@@ -218,6 +224,109 @@ class TestArrivalTrace:
         assert trace.duration_seconds == pytest.approx(1800)
         assert trace.bucket_seconds == 30.0
         assert trace.rates_per_second.mean() == pytest.approx(1.0)
+
+
+class TestOpenLoopProcesses:
+    """The runtime's open-loop arrival processes (poisson/diurnal)."""
+
+    def test_poisson_trace_is_flat_and_seed_stable(self):
+        trace = poisson_trace(duration_s=120.0, rate_rps=2.0)
+        assert trace.duration_seconds == pytest.approx(120.0)
+        assert (trace.rates_per_second == 2.0).all()
+        assert trace.total_expected_requests == pytest.approx(240.0)
+        a = trace.arrival_times(seed=7)
+        b = poisson_trace(duration_s=120.0, rate_rps=2.0).arrival_times(seed=7)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, trace.arrival_times(seed=8))
+
+    def test_poisson_count_near_expectation(self):
+        trace = poisson_trace(duration_s=600.0, rate_rps=3.0)
+        assert len(trace.arrival_times(seed=0)) == pytest.approx(1800, rel=0.1)
+
+    def test_poisson_validation(self):
+        with pytest.raises(ValueError):
+            poisson_trace(duration_s=0.0, rate_rps=1.0)
+        with pytest.raises(ValueError):
+            poisson_trace(duration_s=10.0, rate_rps=-1.0)
+        with pytest.raises(ValueError):
+            poisson_trace(duration_s=10.0, rate_rps=1.0, bucket_seconds=0.0)
+
+    def test_diurnal_envelope_ratio_and_mean(self):
+        trace = diurnal_trace(duration_s=600.0, mean_rps=2.0, period_s=600.0,
+                              peak_to_trough=5.0, bucket_seconds=2.0)
+        assert trace.rates_per_second.mean() == pytest.approx(2.0)
+        # Buckets sample the envelope at midpoints, so the realized ratio
+        # sits a hair under the configured one; finer buckets converge.
+        assert trace.peak_to_trough() == pytest.approx(5.0, rel=0.02)
+        # Trough at the start, peak mid-period.
+        rates = trace.rates_per_second
+        assert rates[len(rates) // 2] > rates[0]
+
+    def test_diurnal_seed_stable_and_burstiness_roughens(self):
+        smooth = diurnal_trace(duration_s=300.0, mean_rps=1.0,
+                               period_s=300.0, seed=3)
+        again = diurnal_trace(duration_s=300.0, mean_rps=1.0,
+                              period_s=300.0, seed=3)
+        np.testing.assert_array_equal(smooth.rates_per_second,
+                                      again.rates_per_second)
+        np.testing.assert_array_equal(smooth.arrival_times(seed=5),
+                                      again.arrival_times(seed=5))
+        bursty = diurnal_trace(duration_s=300.0, mean_rps=1.0, period_s=300.0,
+                               burstiness=2.0, seed=3)
+        assert bursty.peak_to_trough() > smooth.peak_to_trough()
+
+    def test_diurnal_validation(self):
+        with pytest.raises(ValueError):
+            diurnal_trace(duration_s=100.0, mean_rps=1.0, peak_to_trough=0.5)
+        with pytest.raises(ValueError):
+            diurnal_trace(duration_s=-1.0, mean_rps=1.0)
+        with pytest.raises(ValueError):
+            diurnal_trace(duration_s=100.0, mean_rps=1.0, bucket_seconds=-1.0)
+
+
+class TestGenerateRequestsCallOrder:
+    """``SyntheticDataset.generate_requests`` is call-order dependent.
+
+    Each call advances ``self._counter``, which seeds the stream — so the
+    documented convention (``example_bank_requests()`` *before*
+    ``online_requests()``) is load-bearing.  These tests pin the dependence
+    as a contract instead of a convention: violating the order changes the
+    online stream, and same-order runs are bit-identical.
+    """
+
+    @staticmethod
+    def _ids(requests):
+        return [r.request_id for r in requests]
+
+    def test_documented_order_is_deterministic(self):
+        def in_order():
+            ds = SyntheticDataset("ms_marco", scale=0.0005, seed=4)
+            bank = ds.example_bank_requests()
+            online = ds.online_requests(20)
+            return self._ids(bank), self._ids(online)
+
+        assert in_order() == in_order()
+
+    def test_swapping_call_order_changes_the_online_stream(self):
+        ds_ordered = SyntheticDataset("ms_marco", scale=0.0005, seed=4)
+        ds_ordered.example_bank_requests()
+        online_after_bank = self._ids(ds_ordered.online_requests(20))
+
+        ds_swapped = SyntheticDataset("ms_marco", scale=0.0005, seed=4)
+        online_first = self._ids(ds_swapped.online_requests(20))
+
+        # The counter dependence: the same online_requests() call yields a
+        # different stream depending on how many calls preceded it.  If this
+        # assertion ever starts failing, generate_requests stopped being
+        # call-order dependent and the convention (and this pin) can go.
+        assert online_after_bank != online_first
+
+    def test_repeated_calls_advance_the_stream(self):
+        ds = SyntheticDataset("alpaca", scale=0.01, seed=6)
+        first = self._ids(ds.online_requests(10))
+        second = self._ids(ds.online_requests(10))
+        assert first != second
+        assert len(set(first) & set(second)) == 0
 
 
 class TestFeedbackSimulator:
