@@ -15,7 +15,11 @@ exercise per request, at three levels:
   :class:`~repro.runtime.loop.EventLoop` dispatch throughput (events/sec)
   and end-to-end simulated serving throughput through
   :class:`~repro.serving.cluster.ClusterSimulator` (simulated
-  requests/sec on a trivial router, isolating scheduler overhead).
+  requests/sec on a trivial router, isolating scheduler overhead);
+* **persistence** — durable-state cost: full-service snapshot save and
+  restore throughput (examples/sec and bytes) at the standard serve-bench
+  bank size, so checkpointing cost rides the same recorded trajectory as
+  the serve hot path (see ``docs/PERSISTENCE.md``).
 
 Results are written to ``BENCH_serve_hotpath.json`` so every future perf PR
 is measured against a recorded trajectory, and ``--check`` gates CI against
@@ -251,6 +255,42 @@ def bench_runtime(n_events: int = 100_000, n_requests: int = 5_000,
     }
 
 
+def bench_persistence(bank: int = 800, n_requests: int = 100,
+                      seed: int = 0) -> dict:
+    """Snapshot save/restore throughput on a warmed service.
+
+    The service serves ``n_requests`` first so the snapshot includes
+    realistic learned state (posteriors, decode streams, admissions), then
+    one save and one restore are timed (best of three, like every other
+    bench).  Restore time includes service construction — that is what a
+    warm restart actually pays.
+    """
+    import tempfile
+
+    from harness import make_service
+    from repro.core.service import ICCacheService
+
+    scale = max(0.001, bank / 800_000)
+    service, dataset = make_service("ms_marco", scale=scale, seed=seed,
+                                    seed_limit=bank)
+    for request in dataset.online_requests(n_requests):
+        service.serve(request, load=0.3)
+
+    with tempfile.TemporaryDirectory(prefix="bench_persist_") as tmpdir:
+        path = Path(tmpdir) / "snapshot.json"
+        t_save = _best_of(lambda: service.save(path))
+        t_restore = _best_of(lambda: ICCacheService.restore(path))
+        examples = len(service.cache)
+        return {
+            "examples": examples,
+            "snapshot_bytes": path.stat().st_size,
+            "save_s": t_save,
+            "restore_s": t_restore,
+            "save_examples_per_s": examples / t_save,
+            "restore_examples_per_s": examples / t_restore,
+        }
+
+
 def run(sizes: list[int], serve_bank: int = 800,
         out_path: str | Path | None = None) -> dict:
     """Run the full harness and (optionally) write the BENCH artifact."""
@@ -266,6 +306,7 @@ def run(sizes: list[int], serve_bank: int = 800,
         "churn": {},
         "serve": bench_serve(bank=serve_bank),
         "runtime": bench_runtime(),
+        "persistence": bench_persistence(bank=serve_bank),
     }
     for n in sizes:
         # One build (and one K-Means train) per size, shared by both benches;
@@ -318,6 +359,18 @@ def check_against_baseline(results: dict, baseline: dict,
                 f"runtime {label} regressed: {got:.0f}/s < "
                 f"{floor:.0%} of baseline {base_val:.0f}/s"
             )
+    base_persist = baseline.get("persistence", {})
+    for key, label in (("save_examples_per_s", "snapshot save"),
+                       ("restore_examples_per_s", "snapshot restore")):
+        base_val = base_persist.get(key)
+        if not base_val:
+            continue  # pre-persistence baselines simply skip this gate
+        got = results.get("persistence", {}).get(key, 0.0)
+        if got < floor * base_val:
+            failures.append(
+                f"persistence {label} regressed: {got:.0f} ex/s < "
+                f"{floor:.0%} of baseline {base_val:.0f} ex/s"
+            )
     return failures
 
 
@@ -354,6 +407,12 @@ def main(argv: list[str] | None = None) -> int:
           f"({runtime['n_events']} no-op dispatches), sim serving: "
           f"{runtime['sim_requests_per_s']:,.0f} req/s "
           f"({runtime['n_sim_requests']} requests)")
+    persist = results["persistence"]
+    print(f"persist snapshot: {persist['snapshot_bytes'] / 1024:.0f} KiB, "
+          f"save {persist['save_s'] * 1e3:.0f} ms "
+          f"({persist['save_examples_per_s']:,.0f} ex/s), restore "
+          f"{persist['restore_s'] * 1e3:.0f} ms "
+          f"({persist['restore_examples_per_s']:,.0f} ex/s)")
     print(f"wrote {args.out}")
 
     if args.check:

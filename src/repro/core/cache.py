@@ -49,6 +49,13 @@ class ExampleCache:
         # :meth:`refresh_total_bytes` for the post-mutation reconcile.
         self._total_bytes = 0
         self._bytes_by_id: dict[str, int] = {}
+        # Optional mutation journal (the persistence WAL attaches here):
+        # a callable ``fn(kind, payload)`` invoked on every add / overwrite
+        # / remove, plus ``retrain`` markers when a search triggered a lazy
+        # K-Means (re)train.  ``None`` (the default) costs one branch per
+        # mutation and nothing on the search hot path beyond that branch.
+        self._journal = None
+        self._journal_trainings = 0
 
     def __len__(self) -> int:
         return len(self._examples)
@@ -63,6 +70,41 @@ class ExampleCache:
     def total_bytes(self) -> int:
         """Plaintext bytes held, as a maintained O(1) running counter."""
         return self._total_bytes
+
+    @property
+    def journal(self):
+        """The attached mutation-journal callback, or ``None``.
+
+        Set by :class:`repro.persistence.wal.WriteAheadLog` to record cache
+        mutations between snapshots; see ``docs/PERSISTENCE.md`` for the
+        record vocabulary and recovery semantics.
+        """
+        return self._journal
+
+    @journal.setter
+    def journal(self, fn) -> None:
+        self._journal = fn
+        # Baseline for retrain detection: only trains *after* attachment
+        # are journaled (earlier ones are part of the snapshot).
+        self._journal_trainings = self._index.trainings if fn is not None else 0
+
+    def _note_search(self) -> None:
+        """Journal a ``retrain`` marker if the last search trained the index.
+
+        K-Means retraining is lazy (it fires inside a search once enough
+        churn accumulated), so WAL recovery needs a marker *at the right
+        position* in the mutation sequence to re-fire it — replaying the
+        surrounding adds/removes alone would leave the index in its
+        pre-train layout.
+        """
+        if self._journal is None:
+            return
+        trainings = self._index.trainings
+        if trainings != self._journal_trainings:
+            self._journal_trainings = trainings
+            per_shard = getattr(self._index, "per_shard_trainings", None)
+            self._journal("retrain",
+                          {"trainings": trainings, "per_shard": per_shard})
 
     def refresh_total_bytes(self) -> int:
         """Re-sync the byte counter with current example sizes.
@@ -85,6 +127,27 @@ class ExampleCache:
         size = example.plaintext_bytes
         self._bytes_by_id[example.example_id] = size
         self._total_bytes += size
+        if self._journal is not None:
+            self._journal("add", example)
+
+    def overwrite(self, example: Example) -> None:
+        """Replace the stored example with the same id in place.
+
+        The index sees ONE overwrite (one churn event, the invariant
+        :meth:`IVFIndex.add` promises), not a remove plus an insert — so
+        state-migration tools can rewrite entries without doubling the
+        retrain cadence.  The example must already be cached.
+        """
+        example_id = example.example_id
+        if example_id not in self._examples:
+            raise KeyError(example_id)
+        self._examples[example_id] = example
+        self._index.add(example_id, example.embedding)
+        size = example.plaintext_bytes
+        self._total_bytes += size - self._bytes_by_id[example_id]
+        self._bytes_by_id[example_id] = size
+        if self._journal is not None:
+            self._journal("overwrite", example)
 
     def remove(self, example_id: str) -> Example:
         example = self._examples.pop(example_id, None)
@@ -92,6 +155,8 @@ class ExampleCache:
             raise KeyError(example_id)
         self._index.remove(example_id)
         self._total_bytes -= self._bytes_by_id.pop(example_id)
+        if self._journal is not None:
+            self._journal("remove", example_id)
         return example
 
     def get(self, example_id: str) -> Example:
@@ -100,6 +165,7 @@ class ExampleCache:
     def search(self, embedding: np.ndarray, k: int) -> list[tuple[Example, float]]:
         """Top-k (example, relevance) pairs for a request embedding."""
         hits = self._index.search(embedding, k)
+        self._note_search()
         return [(self._examples[hit.key], hit.score) for hit in hits]
 
     def search_batch(self, embeddings: np.ndarray,
@@ -110,6 +176,7 @@ class ExampleCache:
         batched serving engine (:mod:`repro.serving.engine`) relies on.
         """
         batches = self._index.search_batch(embeddings, k)
+        self._note_search()
         return [
             [(self._examples[hit.key], hit.score) for hit in hits]
             for hits in batches
@@ -118,6 +185,7 @@ class ExampleCache:
     def nearest_similarity(self, embedding: np.ndarray) -> float:
         """Similarity of the closest cached example (0.0 on an empty cache)."""
         hits = self._index.search(embedding, 1)
+        self._note_search()
         return hits[0].score if hits else 0.0
 
     def matching_cost(self) -> float:

@@ -12,8 +12,6 @@
 
 from __future__ import annotations
 
-import itertools
-
 from repro.analysis.knapsack import KnapsackItem, solve_knapsack
 from repro.core.cache import ExampleCache
 from repro.core.config import ManagerConfig
@@ -40,7 +38,10 @@ class ExampleManager:
         self.clock = clock or SimClock()
         self.replay_engine = replay_engine
         self._last_decay = self.clock.now
-        self._id_counter = itertools.count()
+        # A plain int rather than itertools.count: the position is part of
+        # the manager's durable state (snapshots save and restore it so
+        # example ids never collide across a warm restart).
+        self._next_id = 0
         self.admitted = 0
         self.rejected_duplicates = 0
         self.evictions = 0
@@ -57,13 +58,17 @@ class ExampleManager:
         """
         if self.cache.nearest_similarity(embedding) >= self.config.admission_dedupe_sim:
             self.rejected_duplicates += 1
+            self._journal_counters()
             return None
         response_text = result.text
         if self.config.sanitize:
             response_text = sanitize_text(response_text)
             request.text = sanitize_text(request.text)
+        example_number = self._next_id
+        self._next_id += 1
+        self._journal_counters()
         example = Example(
-            example_id=f"ex-{next(self._id_counter)}-{request.request_id}",
+            example_id=f"ex-{example_number}-{request.request_id}",
             request=request,
             response_text=response_text,
             embedding=embedding,
@@ -74,8 +79,27 @@ class ExampleManager:
         )
         self.cache.add(example)
         self.admitted += 1
+        self._journal_counters()
         self.enforce_capacity()
         return example
+
+    def _journal_counters(self) -> None:
+        """Journal the manager's running counters (physical redo record).
+
+        The cache journal sees mutations, not who made them — so id
+        minting, admission/rejection tallies, and eviction counts would
+        drift across a WAL recovery without this record.  Emitted whenever
+        a counter moves while a journal is attached; recovery applies the
+        latest values (see :mod:`repro.persistence.wal`).
+        """
+        journal = self.cache.journal
+        if journal is not None:
+            journal("manager_counters", {
+                "next_id": self._next_id,
+                "admitted": self.admitted,
+                "rejected_duplicates": self.rejected_duplicates,
+                "evictions": self.evictions,
+            })
 
     # -- bookkeeping ----------------------------------------------------------
 
@@ -93,9 +117,14 @@ class ExampleManager:
         Decay normally piggybacks on :meth:`record_use`; online maintenance
         (the runtime's maintenance tick) calls this directly so gain
         statistics go stale on schedule even when an example sees no
-        repurposing traffic between ticks.
+        repurposing traffic between ticks.  With a journal attached the
+        pass additionally records a ``clock`` mark, so WAL recovery restores
+        the maintenance-advanced clock even when no whole period elapsed.
         """
         self._maybe_decay()
+        journal = self.cache.journal
+        if journal is not None:
+            journal("clock", {"now": self.clock.now})
 
     def _maybe_decay(self) -> None:
         """Apply the hourly 0.9 decay to every example's gain statistics."""
@@ -108,6 +137,9 @@ class ExampleManager:
             example.offload_gain.decay(self.config.decay_factor, whole)
             example.gain_ema.decay(self.config.decay_factor, whole)
         self._last_decay += whole * self.config.decay_period_s
+        journal = self.cache.journal
+        if journal is not None:
+            journal("decay", {"periods": whole})
 
     # -- eviction ----------------------------------------------------------
 
@@ -141,17 +173,44 @@ class ExampleManager:
                 self.cache.remove(item.key)
                 evicted += 1
         self.evictions += evicted
+        if evicted:
+            self._journal_counters()
         return evicted
 
     # -- replay ----------------------------------------------------------
 
     def run_replay(self, expected_reuse: float = 20.0):
-        """Run one off-peak replay pass (requires a configured engine)."""
+        """Run one off-peak replay pass (requires a configured engine).
+
+        With a journal attached, every replayed example is recorded as one
+        ``replay_rewrite`` record carrying the refined fields *and* the
+        teacher's decode-count for the example's request — replay harvests
+        decode-sampling variance, so a recovered service must resume the
+        teacher's sample sequence at the same position or a later replay of
+        the same example would draw different responses.
+        """
         if self.replay_engine is None:
             raise RuntimeError("no replay engine configured on this manager")
+        journal = self.cache.journal
+        before = (
+            {ex.example_id: ex.replay_count for ex in self.cache}
+            if journal is not None else None
+        )
         outcome = self.replay_engine.run(self.cache.examples(),
                                          expected_reuse=expected_reuse)
         # Replay rewrites response texts in place; re-sync the cache's
         # running byte counter so the eviction knapsack sees true sizes.
         self.cache.refresh_total_bytes()
+        if journal is not None:
+            teacher = self.replay_engine.teacher
+            for example in self.cache:
+                if example.replay_count == before.get(example.example_id):
+                    continue
+                request_id = example.request.request_id
+                journal("replay_rewrite", {
+                    "example": example,
+                    "teacher_decode_counts": {
+                        request_id: teacher.decode_count(request_id)
+                    },
+                })
         return outcome

@@ -21,6 +21,7 @@ sampled helpfulness observations train the proxy.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.core.cache import ExampleCache, ShardedExampleCache
 from repro.core.config import ICCacheConfig
@@ -277,6 +278,47 @@ class ICCacheService:
             "improved": replay_outcome.improved if replay_outcome else 0,
             "examples": len(self.cache),
         }
+
+    # -- durable state (snapshot + WAL, repro.persistence) -------------------
+
+    def save(self, path) -> Path:
+        """Snapshot full service state to ``path`` (one JSON document).
+
+        Captures everything warm-restart determinism needs — examples,
+        index layout, learned posteriors, RNG stream positions; see
+        :mod:`repro.persistence.snapshot` for the exact inventory and
+        ``docs/PERSISTENCE.md`` for the format.  After the write, the
+        pipeline's ``on_checkpoint`` middleware hook fires (mirroring
+        ``on_maintenance``), so lifecycle observers see checkpoints in the
+        same ordered chain as request hooks.  In-flight cluster requests
+        are recorded but not restorable (a crash loses them).
+        """
+        # Imported lazily for the same reason as the pipeline imports in
+        # ``__init__``: persistence depends on the core modules.
+        from repro.persistence.snapshot import write_snapshot
+
+        out = write_snapshot(self, path)
+        self.pipeline.run_checkpoint(self)
+        return out
+
+    @classmethod
+    def restore(cls, path, config: ICCacheConfig | None = None,
+                models: dict[str, SimulatedLLM] | None = None,
+                shard_fn=None) -> "ICCacheService":
+        """Rebuild a service from a :meth:`save` snapshot.
+
+        ``config`` overrides the stored configuration (cache layout and
+        router arms must stay compatible); ``models`` and ``shard_fn``
+        re-supply custom model objects / shard assignment if the original
+        service was built with them (code is not state).  The restored
+        service serves bit-identically to the one that was saved (pinned
+        by ``tests/test_persistence_recovery.py``); to also replay a WAL
+        tail, use :meth:`repro.persistence.wal.Checkpointer.recover`.
+        """
+        from repro.persistence.snapshot import load_snapshot, restore_service
+
+        return restore_service(load_snapshot(path), config=config,
+                               models=models, shard_fn=shard_fn)
 
     # -- the learning loops (pipeline after_complete hook) -------------------
 

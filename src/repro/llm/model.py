@@ -110,6 +110,16 @@ class SimulatedLLM:
     def name(self) -> str:
         return self.spec.name
 
+    def decode_count(self, request_id: str) -> int:
+        """How many times this model has generated for ``request_id``.
+
+        The decode RNG stream is keyed per (model, request, decode index),
+        so this position is durable state: persistence snapshots it and WAL
+        ``replay_rewrite`` records carry it, letting a restored service
+        resume every request's sample sequence exactly where it stopped.
+        """
+        return self._decode_counts.get(request_id, 0)
+
     def base_quality(self, request: Request) -> float:
         """Deterministic quality this model achieves without examples.
 

@@ -1,0 +1,183 @@
+"""Operator CLI for durable state: ``python -m repro.persistence.cli``.
+
+Three subcommands (``docs/PERSISTENCE.md`` has a worked walkthrough):
+
+* ``snapshot`` — build a seeded demo service (example bank + optional
+  online traffic), then write a snapshot.  Useful for producing fixtures,
+  CI artifacts, and cache pre-warming images.
+* ``inspect`` — print a snapshot's header and state inventory without
+  rebuilding a service (cheap, read-only).
+* ``restore`` — rebuild a service from a snapshot (optionally replaying a
+  WAL tail), report its state, and optionally serve a few requests to
+  prove the warm restart works.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+
+def _build_demo_service(seed: int, bank: int, serve: int, shards: int):
+    """A seeded service with learned state, like the recovery tests use."""
+    from repro.core.config import ICCacheConfig, ManagerConfig
+    from repro.core.service import ICCacheService
+    from repro.workload.datasets import SyntheticDataset
+
+    config = ICCacheConfig(seed=seed, cache_shards=shards,
+                           manager=ManagerConfig(sanitize=False))
+    service = ICCacheService(config)
+    dataset = SyntheticDataset("ms_marco", scale=0.0005, seed=seed)
+    # Bank first, online second: SyntheticDataset generation is
+    # call-order dependent, and this is the order every bench uses.
+    service.seed_cache(dataset.example_bank_requests()[:bank])
+    for request in dataset.online_requests(serve):
+        service.serve(request, load=0.3)
+    return service
+
+
+def cmd_snapshot(args: argparse.Namespace) -> int:
+    service = _build_demo_service(args.seed, args.bank, args.serve,
+                                  args.shards)
+    path = service.save(args.out)
+    print(f"wrote {path} ({path.stat().st_size} bytes): "
+          f"{len(service.cache)} examples, {service.stats.served} served")
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.persistence.snapshot import load_snapshot
+
+    snapshot = load_snapshot(args.path)
+    cache = snapshot["cache"]
+    index = cache["index"]
+    stats = snapshot["service"]["stats"]
+    lines = [
+        f"format:        {snapshot['format']} v{snapshot['version']}",
+        f"clock:         {snapshot['clock_now']:.3f} s",
+        f"cache:         {len(cache['examples'])} examples, "
+        f"{cache['total_bytes']} plaintext bytes, "
+        f"{'sharded' if cache['sharded'] else 'monolithic'} index",
+    ]
+    if cache["sharded"]:
+        sizes = [len(s["flat"]["keys"]) for s in index["shards"]]
+        trains = [s["trainings"] for s in index["shards"]]
+        lines.append(f"shards:        sizes={sizes} trainings={trains}")
+    else:
+        lines.append(
+            f"index:         {len(index['flat']['keys'])} rows, "
+            f"{0 if index['centroids'] is None else index['centroids'].shape[0]}"
+            f" clusters, {index['trainings']} trainings, "
+            f"churn={index['churn']}"
+        )
+    lines += [
+        f"stats:         served={stats['served']} "
+        f"offloaded={stats['offloaded']} bypasses={stats['bypasses']}",
+        f"learning:      router_updates={stats['router_updates']} "
+        f"proxy_updates={stats['proxy_updates']}",
+        f"models:        "
+        + ", ".join(f"{name} ({len(m['decode_counts'])} decode streams)"
+                    for name, m in snapshot["models"].items()),
+        f"in flight:     {len(snapshot['in_flight'])} "
+        "(not restorable; lost on crash)",
+    ]
+    print("\n".join(lines))
+    if args.json:
+        summary = {
+            "version": snapshot["version"],
+            "examples": len(cache["examples"]),
+            "total_bytes": cache["total_bytes"],
+            "served": stats["served"],
+        }
+        print(json.dumps(summary))
+    return 0
+
+
+def cmd_restore(args: argparse.Namespace) -> int:
+    from repro.persistence.snapshot import load_snapshot, restore_service
+    from repro.persistence.wal import (
+        Checkpointer,
+        WriteAheadLog,
+        apply_wal,
+        filter_stale_records,
+    )
+    from repro.workload.datasets import SyntheticDataset
+
+    path = Path(args.path)
+    if path.is_dir():
+        service = Checkpointer.recover(path)
+    else:
+        snapshot = load_snapshot(path)
+        service = restore_service(snapshot)
+        if args.wal:
+            # Same stale-epoch filtering as Checkpointer.recover, so a
+            # journal stranded by a crash mid-checkpoint is not
+            # double-applied when the files are restored individually.
+            records = filter_stale_records(
+                WriteAheadLog.read(args.wal), snapshot, source=args.wal
+            )
+            applied = apply_wal(service, records)
+            print(f"replayed {applied} WAL records from {args.wal}")
+    print(f"restored: {len(service.cache)} examples, "
+          f"{service.stats.served} served, clock={service.clock.now:.3f} s")
+    if args.serve:
+        dataset = SyntheticDataset("ms_marco", scale=0.0005,
+                                   seed=service.config.seed)
+        dataset.example_bank_requests()  # keep generation call order stable
+        requests = dataset.online_requests(service.stats.served + args.serve)
+        for request in requests[-args.serve:]:
+            outcome = service.serve(request, load=0.3)
+            print(f"  {request.request_id} -> {outcome.choice.model_name} "
+                  f"(quality {outcome.result.quality:.3f})")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.persistence.cli",
+        description=__doc__.splitlines()[0],
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    snap = sub.add_parser("snapshot",
+                          help="build a seeded demo service and snapshot it")
+    snap.add_argument("--out", default="snapshot.json",
+                      help="output snapshot path")
+    snap.add_argument("--seed", type=int, default=0)
+    snap.add_argument("--bank", type=int, default=120,
+                      help="example-bank requests to seed")
+    snap.add_argument("--serve", type=int, default=20,
+                      help="online requests to serve before snapshotting")
+    snap.add_argument("--shards", type=int, default=1,
+                      help="cache shards (>1 = ShardedExampleCache)")
+    snap.set_defaults(fn=cmd_snapshot)
+
+    ins = sub.add_parser("inspect",
+                         help="print a snapshot's header and inventory")
+    ins.add_argument("path", help="snapshot file")
+    ins.add_argument("--json", action="store_true",
+                     help="also print a machine-readable summary line")
+    ins.set_defaults(fn=cmd_inspect)
+
+    res = sub.add_parser("restore",
+                         help="rebuild a service from a snapshot "
+                              "(or a checkpoint directory)")
+    res.add_argument("path",
+                     help="snapshot file, or a Checkpointer directory "
+                          "containing snapshot.json + wal.jsonl")
+    res.add_argument("--wal", help="WAL file to replay after the snapshot")
+    res.add_argument("--serve", type=int, default=0,
+                     help="serve this many demo requests after restoring")
+    res.set_defaults(fn=cmd_restore)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

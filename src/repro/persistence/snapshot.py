@@ -1,0 +1,459 @@
+"""Versioned full-state snapshots of a running :class:`ICCacheService`.
+
+The snapshot is the durable half of the persistence subsystem (the WAL in
+:mod:`repro.persistence.wal` covers the tail between snapshots).  Its
+defining property is *warm-restart determinism*: a service rebuilt from a
+snapshot serves bit-identically to one that never stopped, which means the
+format must capture more than the obvious data:
+
+* **Examples** — full records including the per-example gain/feedback EMAs
+  (section 4.3 bookkeeping) and the cache's per-id recorded byte sizes.
+* **Index layout, not just membership** — the flat storage's row order is
+  the index's entire add/remove history (swap-delete moves the last row
+  into the hole) and is exactly what K-Means reads at retrain time, so it
+  is serialized as-is; the IVF cluster blocks, centroids, churn counter,
+  and training count ride along (see ``to_state`` on each index class).
+* **Learned state** — router posteriors, proxy regression state, selector
+  threshold adaptation, and the live ablation flags.
+* **RNG stream positions** — the service, router, and feedback generators'
+  bit-generator states plus every model's per-request decode counts; the
+  repo's RNG discipline (per-entity seeded streams) makes these few
+  numbers sufficient to resume every stochastic sequence mid-stream.
+
+On disk a snapshot is one JSON document.  Arrays are embedded as base64 of
+their raw bytes with dtype/shape/byte-order, so floats round-trip
+bit-exactly; scalar floats rely on JSON's shortest-roundtrip repr, which
+is also exact.  ``version`` gates compatibility: readers reject newer
+majors instead of guessing.
+
+Not captured (by design): in-flight requests parked in the pipeline
+(``pipeline._pending``) — a crash loses them, like any serving system;
+their ids are recorded under ``in_flight`` for operator visibility.
+Custom ``models=`` or ``shard_fn=`` objects are code, not state, and must
+be re-supplied to :func:`restore_service`.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.analysis.stats import EMA
+from repro.core.cache import ShardedExampleCache
+from repro.core.config import (
+    ICCacheConfig,
+    ManagerConfig,
+    RouterConfig,
+    SelectorConfig,
+)
+from repro.core.example import Example
+from repro.vectorstore.ivf import IVFIndex
+from repro.vectorstore.sharded import ShardedIndex
+from repro.workload.request import Request, TaskType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core -> persistence)
+    from repro.core.service import ICCacheService
+
+SNAPSHOT_FORMAT = "ic-cache-snapshot"
+SNAPSHOT_VERSION = 1
+
+
+# -- JSON-safe encoding of numpy state ------------------------------------
+
+def encode_array(array: np.ndarray) -> dict:
+    """One ndarray as a JSON-safe record, bit-exact.
+
+    Raw bytes (base64) plus ``dtype.str`` — which includes byte order — and
+    shape.  Never textual floats: ``repr`` round-trips in Python but a raw
+    byte image is unambiguous across readers and obviously exact.
+    """
+    arr = np.ascontiguousarray(array)
+    return {
+        "__ndarray__": base64.b64encode(arr.tobytes()).decode("ascii"),
+        "dtype": arr.dtype.str,
+        "shape": list(arr.shape),
+    }
+
+
+def decode_array(record: dict) -> np.ndarray:
+    arr = np.frombuffer(base64.b64decode(record["__ndarray__"]),
+                        dtype=np.dtype(record["dtype"]))
+    return arr.reshape(record["shape"]).copy()
+
+
+def _encode(obj):
+    """Recursively convert a state structure into JSON-serializable form."""
+    if isinstance(obj, np.ndarray):
+        return encode_array(obj)
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, dict):
+        return {key: _encode(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_encode(value) for value in obj]
+    return obj
+
+
+def _decode(obj):
+    """Inverse of :func:`_encode` (arrays come back as ndarrays)."""
+    if isinstance(obj, dict):
+        if "__ndarray__" in obj:
+            return decode_array(obj)
+        return {key: _decode(value) for key, value in obj.items()}
+    if isinstance(obj, list):
+        return [_decode(value) for value in obj]
+    return obj
+
+
+# -- component records ------------------------------------------------------
+
+def ema_record(ema: EMA) -> dict:
+    return {"alpha": ema.alpha, "value": ema._value, "count": ema.count}
+
+
+def ema_from_record(record: dict) -> EMA:
+    ema = EMA(alpha=record["alpha"])
+    ema._value = record["value"]
+    ema.count = int(record["count"])
+    return ema
+
+
+def restore_ema(ema: EMA, record: dict) -> None:
+    """Overwrite an existing EMA's state in place (alpha included)."""
+    ema.alpha = record["alpha"]
+    ema._value = record["value"]
+    ema.count = int(record["count"])
+
+
+def rng_state(rng: np.random.Generator) -> dict:
+    """The bit-generator state dict (plain ints, JSON-safe)."""
+    return rng.bit_generator.state
+
+
+def set_rng_state(rng: np.random.Generator, state: dict) -> None:
+    if rng.bit_generator.state["bit_generator"] != state["bit_generator"]:
+        raise ValueError(
+            f"snapshot RNG is {state['bit_generator']!r}, this process "
+            f"built {rng.bit_generator.state['bit_generator']!r}"
+        )
+    rng.bit_generator.state = state
+
+
+def request_record(request: Request) -> dict:
+    return {
+        "request_id": request.request_id,
+        "dataset": request.dataset,
+        "task": request.task.value,
+        "text": request.text,
+        "latent": np.asarray(request.latent, dtype=float),
+        "topic_id": request.topic_id,
+        "difficulty": request.difficulty,
+        "prompt_tokens": request.prompt_tokens,
+        "target_output_tokens": request.target_output_tokens,
+        "arrival_time": request.arrival_time,
+        "metadata": request.metadata,
+    }
+
+
+def request_from_record(record: dict) -> Request:
+    return Request(
+        request_id=record["request_id"],
+        dataset=record["dataset"],
+        task=TaskType(record["task"]),
+        text=record["text"],
+        latent=np.asarray(record["latent"], dtype=float),
+        topic_id=int(record["topic_id"]),
+        difficulty=float(record["difficulty"]),
+        prompt_tokens=int(record["prompt_tokens"]),
+        target_output_tokens=int(record["target_output_tokens"]),
+        arrival_time=float(record["arrival_time"]),
+        metadata=dict(record["metadata"]),
+    )
+
+
+def example_record(example: Example) -> dict:
+    return {
+        "example_id": example.example_id,
+        "request": request_record(example.request),
+        "response_text": example.response_text,
+        "embedding": np.asarray(example.embedding, dtype=float),
+        "quality": example.quality,
+        "source_model": example.source_model,
+        "source_cost": example.source_cost,
+        "created_at": example.created_at,
+        "access_count": example.access_count,
+        "replay_count": example.replay_count,
+        "gain_ema": ema_record(example.gain_ema),
+        "offload_gain": ema_record(example.offload_gain),
+        "feedback_quality": ema_record(example.feedback_quality),
+    }
+
+
+def example_from_record(record: dict) -> Example:
+    return Example(
+        example_id=record["example_id"],
+        request=request_from_record(record["request"]),
+        response_text=record["response_text"],
+        embedding=np.asarray(record["embedding"], dtype=float),
+        quality=float(record["quality"]),
+        source_model=record["source_model"],
+        source_cost=float(record["source_cost"]),
+        created_at=float(record["created_at"]),
+        access_count=int(record["access_count"]),
+        replay_count=int(record["replay_count"]),
+        gain_ema=ema_from_record(record["gain_ema"]),
+        offload_gain=ema_from_record(record["offload_gain"]),
+        feedback_quality=ema_from_record(record["feedback_quality"]),
+    )
+
+
+def cache_state(cache) -> dict:
+    """Serializable state of an ExampleCache / ShardedExampleCache."""
+    return {
+        "sharded": isinstance(cache, ShardedExampleCache),
+        # Insertion order is preserved: dict order IS iteration order and
+        # downstream passes (decay, replay ranking ties) iterate the pool.
+        "examples": [example_record(ex) for ex in cache],
+        "bytes_by_id": dict(cache._bytes_by_id),
+        "total_bytes": cache.total_bytes,
+        "index": cache._index.to_state(),
+    }
+
+
+def restore_cache_state(cache, state: dict, shard_fn=None) -> None:
+    """Rebuild a cache's contents in place from :func:`cache_state` output.
+
+    In place because the selector, manager, and pipeline policies all hold
+    references to the live cache object — swapping internals under them is
+    exactly what a warm restart needs.  ``shard_fn`` re-supplies a custom
+    shard-assignment function (code, not state) for sharded layouts;
+    existing keys keep their memoized assignments either way, but new adds
+    would silently fall back to hash placement without it.
+    """
+    sharded = bool(state["sharded"])
+    if sharded != isinstance(cache, ShardedExampleCache):
+        raise ValueError(
+            "snapshot cache layout does not match the configured one "
+            f"(snapshot sharded={sharded}); check config.cache_shards"
+        )
+    examples = [example_from_record(rec) for rec in state["examples"]]
+    cache._examples = {ex.example_id: ex for ex in examples}
+    cache._bytes_by_id = {key: int(value)
+                          for key, value in state["bytes_by_id"].items()}
+    cache._total_bytes = int(state["total_bytes"])
+    if sharded:
+        cache._index = ShardedIndex.from_state(state["index"],
+                                               shard_fn=shard_fn)
+    else:
+        cache._index = IVFIndex.from_state(state["index"])
+    cache._journal = None
+    cache._journal_trainings = 0
+
+
+# -- the service snapshot ---------------------------------------------------
+
+def service_state(service: "ICCacheService", wal_epoch: int = 0) -> dict:
+    """Everything a warm restart needs, as one plain structure.
+
+    ``wal_epoch`` stamps which journal generation this snapshot pairs
+    with: :class:`~repro.persistence.wal.Checkpointer` bumps it every
+    checkpoint, so recovery can tell a fresh WAL tail from records left
+    behind by a crash *between* snapshot write and journal truncation.
+    """
+    router = service.router
+    return {
+        "format": SNAPSHOT_FORMAT,
+        "version": SNAPSHOT_VERSION,
+        "wal_epoch": int(wal_epoch),
+        "config": asdict(service.config),
+        "clock_now": service.clock.now,
+        "in_flight": sorted(service.pipeline._pending),
+        "selector_enabled": service.selector_enabled,
+        "router_enabled": service.router_enabled,
+        "cache": cache_state(service.cache),
+        "selector": {
+            "utility_threshold": service.selector.utility_threshold,
+            "requests_seen": service.selector._requests_seen,
+            "recent_scored": [[u, t] for u, t in service.selector._recent_scored],
+        },
+        "proxy": {
+            "precision": service.proxy._precision,
+            "moment": service.proxy._moment,
+            "weights": service.proxy._weights,
+            "updates": service.proxy.updates,
+        },
+        "router": {
+            "rng": rng_state(router._rng),
+            "load_ema": ema_record(router.load_ema),
+            "decisions": router.decisions,
+            "feedback_solicitations": router.feedback_solicitations,
+            "arms": {
+                name: {
+                    "precision": posterior._precision,
+                    "moment": posterior._moment,
+                    "pulls": posterior.pulls,
+                }
+                for name, posterior in router._posteriors.items()
+            },
+        },
+        "manager": {
+            "last_decay": service.manager._last_decay,
+            "next_id": service.manager._next_id,
+            "admitted": service.manager.admitted,
+            "rejected_duplicates": service.manager.rejected_duplicates,
+            "evictions": service.manager.evictions,
+        },
+        "service": {
+            "rng": rng_state(service._rng),
+            "feedback_rng": rng_state(service.feedback._rng),
+            "stats": asdict(service.stats),
+        },
+        "models": {
+            name: {
+                "rng": rng_state(model._rng),
+                "decode_counts": dict(model._decode_counts),
+            }
+            for name, model in service.models.items()
+        },
+    }
+
+
+def write_snapshot(service: "ICCacheService", path: str | Path,
+                   wal_epoch: int = 0) -> Path:
+    """Serialize ``service`` to ``path`` (one JSON document), atomically.
+
+    The document is written to a sibling temp file and ``os.replace``d
+    into place, so a crash mid-write can never destroy the previous valid
+    snapshot — readers see either the old image or the new one, complete.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = json.dumps(_encode(service_state(service,
+                                               wal_epoch=wal_epoch)),
+                         separators=(",", ":"))
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(payload + "\n", encoding="utf-8")
+    os.replace(tmp, path)
+    return path
+
+
+def load_snapshot(path: str | Path) -> dict:
+    """Read and decode a snapshot; validates format and version."""
+    snapshot = _decode(json.loads(Path(path).read_text(encoding="utf-8")))
+    if snapshot.get("format") != SNAPSHOT_FORMAT:
+        raise ValueError(f"{path} is not an {SNAPSHOT_FORMAT} file")
+    version = snapshot.get("version")
+    if version != SNAPSHOT_VERSION:
+        raise ValueError(
+            f"snapshot version {version} unsupported "
+            f"(this reader speaks {SNAPSHOT_VERSION})"
+        )
+    return snapshot
+
+
+def config_from_record(record: dict) -> ICCacheConfig:
+    """Rebuild the nested config dataclasses from their asdict form."""
+    record = dict(record)
+    selector = dict(record.pop("selector"))
+    selector["threshold_grid"] = tuple(selector["threshold_grid"])
+    return ICCacheConfig(
+        selector=SelectorConfig(**selector),
+        router=RouterConfig(**record.pop("router")),
+        manager=ManagerConfig(**record.pop("manager")),
+        **record,
+    )
+
+
+def restore_service(snapshot: dict, config: ICCacheConfig | None = None,
+                    models: dict | None = None,
+                    shard_fn=None) -> "ICCacheService":
+    """Build a service and load ``snapshot`` into it.
+
+    ``config`` overrides the stored one (the cache layout must match);
+    ``models`` re-supplies custom model objects when the original service
+    was built with some (their RNG positions are restored either way);
+    ``shard_fn`` re-supplies a custom shard-assignment function for
+    sharded caches.
+    """
+    from repro.core.service import ICCacheService
+
+    cfg = config if config is not None else config_from_record(
+        snapshot["config"]
+    )
+    service = ICCacheService(cfg, models=models)
+
+    service.clock.reset(float(snapshot["clock_now"]))
+    service.selector_enabled = bool(snapshot["selector_enabled"])
+    service.router_enabled = bool(snapshot["router_enabled"])
+    restore_cache_state(service.cache, snapshot["cache"],
+                        shard_fn=shard_fn)
+
+    sel = snapshot["selector"]
+    service.selector.utility_threshold = sel["utility_threshold"]
+    service.selector._requests_seen = int(sel["requests_seen"])
+    service.selector._recent_scored = [
+        (utility, int(tokens)) for utility, tokens in sel["recent_scored"]
+    ]
+
+    proxy = snapshot["proxy"]
+    service.proxy._precision = np.ascontiguousarray(proxy["precision"])
+    service.proxy._moment = np.ascontiguousarray(proxy["moment"])
+    service.proxy._weights = np.ascontiguousarray(proxy["weights"])
+    service.proxy.updates = int(proxy["updates"])
+
+    router = snapshot["router"]
+    stored_arms = set(router["arms"])
+    live_arms = set(service.router._posteriors)
+    if stored_arms != live_arms:
+        raise ValueError(
+            f"snapshot router arms {sorted(stored_arms)} != "
+            f"configured arms {sorted(live_arms)}"
+        )
+    for name, arm in router["arms"].items():
+        posterior = service.router._posteriors[name]
+        posterior._precision = np.ascontiguousarray(arm["precision"])
+        posterior._moment = np.ascontiguousarray(arm["moment"])
+        posterior.pulls = int(arm["pulls"])
+    set_rng_state(service.router._rng, router["rng"])
+    restore_ema(service.router.load_ema, router["load_ema"])
+    service.router.decisions = int(router["decisions"])
+    service.router.feedback_solicitations = int(
+        router["feedback_solicitations"]
+    )
+
+    manager = snapshot["manager"]
+    service.manager._last_decay = float(manager["last_decay"])
+    service.manager._next_id = int(manager["next_id"])
+    service.manager.admitted = int(manager["admitted"])
+    service.manager.rejected_duplicates = int(manager["rejected_duplicates"])
+    service.manager.evictions = int(manager["evictions"])
+
+    svc = snapshot["service"]
+    set_rng_state(service._rng, svc["rng"])
+    set_rng_state(service.feedback._rng, svc["feedback_rng"])
+    for field, value in svc["stats"].items():
+        setattr(service.stats, field, value)
+
+    stored_models = set(snapshot["models"])
+    live_models = set(service.models)
+    if not stored_models <= live_models:
+        raise ValueError(
+            f"snapshot has state for models {sorted(stored_models)} but "
+            f"only {sorted(live_models)} are configured"
+        )
+    for name, model_state in snapshot["models"].items():
+        model = service.models[name]
+        set_rng_state(model._rng, model_state["rng"])
+        model._decode_counts = {
+            rid: int(count)
+            for rid, count in model_state["decode_counts"].items()
+        }
+    return service

@@ -231,6 +231,22 @@ class ICCachePipeline:
         for mw in self.middlewares:
             mw.on_maintenance(who)
 
+    def run_checkpoint(self, service=None) -> None:
+        """Emit the ``on_checkpoint`` middleware hook in registration order.
+
+        Called by ``ICCacheService.save`` after a snapshot is written —
+        the durable-state counterpart of :meth:`run_maintenance`.
+        Cadence-driven checkpoints (explicit ``save`` calls, the runtime's
+        checkpoint tick) land *between* completed requests, never inside
+        one request's hook sequence; a WAL *size-triggered* compaction can
+        additionally fire from an admission mid-request, in which case the
+        in-progress request counts as in-flight for that snapshot (see
+        ``docs/PERSISTENCE.md``).
+        """
+        who = service if service is not None else self.service
+        for mw in self.middlewares:
+            mw.on_checkpoint(who)
+
     # -- construction ------------------------------------------------------
 
     @classmethod

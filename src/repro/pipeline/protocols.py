@@ -134,3 +134,15 @@ class ServeMiddleware:
         between completed requests exactly where the runtime's
         maintenance tick fired.
         """
+
+    def on_checkpoint(self, service) -> None:
+        """A durable-state snapshot was just written.
+
+        Fired by ``ICCacheService.save`` (and therefore by every
+        :class:`~repro.persistence.wal.Checkpointer` checkpoint or
+        compaction, and every runtime
+        :class:`~repro.runtime.sources.CheckpointTickSource` tick) through
+        the same ordered middleware chain as ``on_maintenance`` — so
+        observers can, e.g., ship the snapshot or cut metrics at exactly
+        the request boundary the checkpoint captured.
+        """

@@ -21,11 +21,13 @@ from repro.runtime.loop import Event, EventLoop
 from repro.runtime.sources import (
     ARRIVAL,
     AUTOSCALE_TICK,
+    CHECKPOINT_TICK,
     FINISH,
     FLUSH,
     MAINTENANCE_TICK,
     AutoscalerTickSource,
     BatchFlushSource,
+    CheckpointTickSource,
     EventSource,
     MaintenanceTickSource,
     ReplicaSample,
@@ -40,10 +42,12 @@ __all__ = [
     "BatchFlushSource",
     "AutoscalerTickSource",
     "MaintenanceTickSource",
+    "CheckpointTickSource",
     "ReplicaSample",
     "ARRIVAL",
     "FLUSH",
     "FINISH",
     "AUTOSCALE_TICK",
     "MAINTENANCE_TICK",
+    "CHECKPOINT_TICK",
 ]

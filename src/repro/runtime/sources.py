@@ -19,6 +19,10 @@ others on a shared :class:`~repro.runtime.loop.EventLoop`:
 * :class:`MaintenanceTickSource` — periodic online cache maintenance
   (decay/evict/replay) through ``ICCacheService.run_maintenance``, so the
   section-4.3 lifecycle runs *during* serving instead of strictly offline.
+* :class:`CheckpointTickSource` — periodic durable-state checkpoints
+  through a :class:`~repro.persistence.wal.Checkpointer`, so crash
+  recovery (snapshot + WAL, ``docs/PERSISTENCE.md``) bounds its data loss
+  to one tick of serving even in live cluster scenarios.
 
 Sources read live state at event time, never snapshots taken at
 construction — benchmarks toggle ``service.router_enabled`` and friends
@@ -46,6 +50,7 @@ FLUSH = "flush"
 FINISH = "finish"
 AUTOSCALE_TICK = "autoscale_tick"
 MAINTENANCE_TICK = "maintenance_tick"
+CHECKPOINT_TICK = "checkpoint_tick"
 
 
 @runtime_checkable
@@ -155,6 +160,13 @@ class TraceArrivalSource:
             loop.schedule(timestamp, ARRIVAL, (self, request))
 
     def _on_event(self, request: "Request") -> None:
+        """One arrival fired: route-and-enqueue now, or park in the batcher.
+
+        The per-request mode is the paper's inline serving path (Algorithm
+        1 invoked at arrival time, section 6's closed-loop evaluation);
+        the sink mode defers routing to the micro-batching engine, which
+        is how the section-7 throughput experiments amortize retrieval.
+        """
         self.emitted += 1
         if self.sink is not None:
             self.sink.add(request)
@@ -197,6 +209,7 @@ class BatchFlushSource:
                                 (self, self.batcher.generation))
 
     def _on_event(self, generation: int) -> None:
+        """A timeout flush fired for the batch stamped ``generation``."""
         if self.batcher.generation != generation:
             return  # stale timer: that batch already dispatched on size
         batch = self.batcher.flush()
@@ -246,6 +259,14 @@ class AutoscalerTickSource:
         _periodic(loop, self, AUTOSCALE_TICK, self.interval_s, self.horizon_s)
 
     def _on_event(self, _: None) -> None:
+        """One autoscaler tick: observe the section-4.2 bias, maybe scale.
+
+        The paper: "the persistent magnitude of this applied bias can be
+        used ... for infrastructure auto-scaling" — each tick reads that
+        live signal plus cluster utilization, and applies the resulting
+        decision immediately (clamped by :meth:`apply_scaling`), so the
+        control loop acts back on the run that produced the signal.
+        """
         bias = max(0.0, float(self.bias_fn()))
         utilization = self._cluster.total_load()
         decision = self.autoscaler.observe(bias, utilization)
@@ -301,9 +322,58 @@ class MaintenanceTickSource:
                   self.horizon_s)
 
     def _on_event(self, _: None) -> None:
+        """One maintenance tick: decay, evict, (optionally) replay.
+
+        Advances the service clock first so the section-4.3 hourly gain
+        decay sees true elapsed simulated time, then delegates to
+        ``run_maintenance`` (which ends by emitting the pipeline's
+        ``on_maintenance`` hook).
+        """
         self.service.clock.advance_to(self._loop.now)
         outcome = self.service.run_maintenance(
             replay=self.replay, expected_reuse=self.expected_reuse
         )
         outcome["time_s"] = self._loop.now
         self.history.append(outcome)
+
+
+class CheckpointTickSource:
+    """Periodic durable-state checkpoints on a fixed cadence.
+
+    Every ``interval_s`` up to ``horizon_s``: advance the service clock to
+    simulated now (so the snapshot's notion of time matches the run) and
+    take one :meth:`Checkpointer.checkpoint` — a fresh full snapshot plus a
+    WAL truncation.  Like every tick source, the train is primed up-front
+    and bounded, never self-rescheduling, so adding checkpointing to a
+    scenario cannot keep its loop alive.
+
+    A checkpoint bounds crash-recovery loss: state restored from the
+    snapshot (plus any WAL tail journaled after it) is bit-identical to
+    the service at the checkpoint boundary, and requests in flight at the
+    crash are lost — the semantics ``docs/PERSISTENCE.md`` specifies.
+    ``history`` records one summary dict per tick for assertions.
+    """
+
+    def __init__(self, checkpointer, *, interval_s: float,
+                 horizon_s: float) -> None:
+        self.checkpointer = checkpointer
+        self.interval_s = interval_s
+        self.horizon_s = horizon_s
+        self.history: list[dict] = []
+
+    def attach(self, loop: EventLoop, cluster: "ClusterSimulator") -> None:
+        self._loop = loop
+        _register_dispatch(loop, CHECKPOINT_TICK)
+        _periodic(loop, self, CHECKPOINT_TICK, self.interval_s,
+                  self.horizon_s)
+
+    def _on_event(self, _: None) -> None:
+        service = self.checkpointer.service
+        service.clock.advance_to(self._loop.now)
+        path = self.checkpointer.checkpoint()
+        self.history.append({
+            "time_s": self._loop.now,
+            "path": str(path),
+            "examples": len(service.cache),
+            "served": service.stats.served,
+        })

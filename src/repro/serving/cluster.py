@@ -84,7 +84,15 @@ class ClusterConfig:
 
 
 class _ModelQueue:
-    """FIFO queue plus slot accounting for one deployed model."""
+    """FIFO queue plus slot accounting for one deployed model.
+
+    The continuous-batching abstraction of the section-6 setup: a
+    deployment exposes ``replicas * batch_slots`` concurrent slots (a vLLM
+    worker's in-flight capacity, substituted), requests past that wait in
+    FIFO order, and :attr:`load` — occupancy *including* queued work — is
+    the utilization signal the section-4.2 router bias and the autoscaler
+    both read.
+    """
 
     def __init__(self, deployment: ModelDeployment) -> None:
         self.deployment = deployment
@@ -212,13 +220,26 @@ class ClusterSimulator:
 
     def enqueue(self, model_name: str, request: Request,
                 examples: list[ExampleView], arrival_s: float) -> _ModelQueue:
-        """Queue a routed request; returns its queue (callers drain it)."""
+        """Queue a routed request; returns its queue (callers drain it).
+
+        ``arrival_s`` is the request's *original* arrival time, which may
+        predate ``now`` on the batched path — micro-batching delay is
+        charged to queue wait, as the section-7 latency accounting
+        requires.
+        """
         queue = self._queue(model_name)
         queue.pending.append((request, examples, arrival_s))
         return queue
 
     def drain(self, queue: _ModelQueue) -> None:
-        """Start queued work while free continuous-batching slots remain."""
+        """Start queued work while free continuous-batching slots remain.
+
+        Each started request generates immediately (quality and token
+        counts are decided at start time; section 6's latency model) and
+        schedules its own ``finish`` event at start + TTFT + decode — the
+        event chain that frees the slot and admits the next request, i.e.
+        continuous batching as an event process.
+        """
         while queue.pending and queue.free_slots > 0:
             request, examples, arrival_s = queue.pending.popleft()
             queue.in_service += 1
@@ -286,6 +307,13 @@ class ClusterSimulator:
             raise KeyError(f"model {model_name!r} not deployed; have: {known}") from None
 
     def _handle_finish(self, event: Event) -> None:
+        """A request completed: free its slot, record, learn, drain.
+
+        ``on_complete`` fires here — in simulation order, at the finish
+        timestamp — so online learning (router/proxy updates, admission)
+        observes realistic serving delay rather than decision-time state;
+        the section-4 feedback loops depend on that ordering.
+        """
         model_name, record, request = event.payload
         queue = self._queue(model_name)
         queue.in_service -= 1

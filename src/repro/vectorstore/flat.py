@@ -64,6 +64,37 @@ class FlatIndex:
             self._view = view
         return view
 
+    def to_state(self) -> dict:
+        """Serializable state: keys in *row order* plus the dense matrix.
+
+        Row order is the index's full add/remove history (swap-delete moves
+        the last row into the hole), and K-Means retraining reads rows in
+        exactly this order — so the state must preserve it, not just the
+        key->vector mapping, for a restored index to retrain identically
+        (see :mod:`repro.persistence.snapshot`).
+        """
+        return {
+            "dim": self.dim,
+            "keys": list(self._keys),
+            "vectors": np.array(self.matrix),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "FlatIndex":
+        """Rebuild an index bit-identical to the one :meth:`to_state` saw."""
+        index = cls(int(state["dim"]))
+        keys = list(state["keys"])
+        vectors = np.ascontiguousarray(state["vectors"], dtype=float)
+        if vectors.shape != (len(keys), index.dim):
+            raise ValueError(
+                f"state vectors shape {vectors.shape} != "
+                f"({len(keys)}, {index.dim})"
+            )
+        index._keys = keys
+        index._key_to_row = {key: row for row, key in enumerate(keys)}
+        index._vectors = vectors
+        return index
+
     def rows_of(self, keys: list[object]) -> np.ndarray:
         """Row indices into :attr:`matrix` for ``keys`` (KeyError if absent)."""
         return np.fromiter(

@@ -261,6 +261,78 @@ class IVFIndex:
             bucket.sort(key=lambda r: r.score, reverse=True)
         return [bucket[:k] for bucket in candidates]
 
+    def to_state(self) -> dict:
+        """Serializable state capturing the full training-relevant history.
+
+        Beyond membership, three things must survive a round-trip for a
+        restored index to behave bit-identically: the flat storage's row
+        order (K-Means reads it at retrain time), the cluster-major blocks
+        (probe scoring iterates block rows for tie-breaking), and the churn
+        counter (it schedules the *next* retrain).  See
+        :mod:`repro.persistence.snapshot` for the on-disk encoding.
+        """
+        return {
+            "dim": self.dim,
+            "nprobe": self.nprobe,
+            "min_train_size": self.min_train_size,
+            "retrain_threshold": self.retrain_threshold,
+            "seed": self.seed,
+            "flat": self._flat.to_state(),
+            "centroids": None if self._centroids is None
+            else np.array(self._centroids),
+            "blocks": [
+                {"keys": list(block.keys), "vectors": np.array(block.view())}
+                for block in self._blocks
+            ],
+            "churn": self._churn,
+            "trainings": self.trainings,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "IVFIndex":
+        """Rebuild an index bit-identical to the one :meth:`to_state` saw."""
+        index = cls(
+            dim=int(state["dim"]),
+            nprobe=int(state["nprobe"]),
+            min_train_size=int(state["min_train_size"]),
+            retrain_threshold=float(state["retrain_threshold"]),
+            seed=int(state["seed"]),
+        )
+        index._flat = FlatIndex.from_state(state["flat"])
+        centroids = state["centroids"]
+        index._centroids = None if centroids is None \
+            else np.ascontiguousarray(centroids, dtype=float)
+        index._blocks = [
+            _ClusterBlock(index.dim, keys=block["keys"],
+                          vectors=block["vectors"])
+            for block in state["blocks"]
+        ]
+        index._key_to_cluster = {
+            key: cluster
+            for cluster, block in enumerate(index._blocks)
+            for key in block.keys
+        }
+        index._churn = int(state["churn"])
+        index.trainings = int(state["trainings"])
+        return index
+
+    def retrain(self) -> bool:
+        """Force one K-Means retrain now; returns whether it happened.
+
+        Used by WAL recovery (:mod:`repro.persistence.wal`) to replay a
+        retrain that originally fired lazily inside a search: given the same
+        flat row order and seed, the forced retrain reproduces identical
+        centroids and blocks.  A pool below ``min_train_size`` never trains
+        (matching the lazy path), so the call is a no-op there.
+        """
+        if len(self._flat) < self.min_train_size:
+            return False
+        before = self.trainings
+        self._churn = max(self._churn,
+                          max(1, int(self.retrain_threshold * len(self._flat))))
+        self._maybe_train()
+        return self.trainings > before
+
     def matching_cost(self) -> float:
         """Expected comparisons per query: K + nprobe * N / K (section 4.1)."""
         n = len(self)

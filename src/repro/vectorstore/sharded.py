@@ -82,6 +82,46 @@ class ShardedIndex:
         """Total K-Means (re)trains across all shards."""
         return sum(shard.trainings for shard in self._shards)
 
+    @property
+    def per_shard_trainings(self) -> list[int]:
+        """K-Means (re)train count per shard (WAL retrain records use this
+        to re-fire a recovery retrain on exactly the shard that trained)."""
+        return [shard.trainings for shard in self._shards]
+
+    def to_state(self) -> dict:
+        """Serializable state: every shard's full state plus the memoized
+        key->shard assignment (``shard_fn`` itself is code, not state — a
+        custom one must be re-supplied to :meth:`from_state`)."""
+        return {
+            "dim": self.dim,
+            "n_shards": self.n_shards,
+            "shards": [shard.to_state() for shard in self._shards],
+            # A list of pairs, not a dict: JSON object keys must be strings
+            # but index keys may be ints or other scalars.
+            "key_to_shard": [[key, shard]
+                             for key, shard in self._key_to_shard.items()],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict,
+                   shard_fn: Callable[[object], int] | None = None
+                   ) -> "ShardedIndex":
+        """Rebuild bit-identically; pass the original ``shard_fn`` if one
+        was used (assignments of existing keys are restored either way)."""
+        index = cls.__new__(cls)
+        index.dim = int(state["dim"])
+        index.n_shards = int(state["n_shards"])
+        index._shard_fn = shard_fn
+        index._shards = [IVFIndex.from_state(s) for s in state["shards"]]
+        if len(index._shards) != index.n_shards:
+            raise ValueError(
+                f"state has {len(index._shards)} shards, expected "
+                f"{index.n_shards}"
+            )
+        index._key_to_shard = {key: int(shard)
+                               for key, shard in state["key_to_shard"]}
+        return index
+
     def add(self, key: object, vector: np.ndarray) -> None:
         # Shard assignment is memoized, so an overwrite lands on the shard
         # that already holds the key; delegating the overwrite to that shard
