@@ -374,6 +374,30 @@ def check_against_baseline(results: dict, baseline: dict,
     return failures
 
 
+def run_baseline_gate(results: dict, baseline_path: str | Path,
+                      max_regression: float = 0.30) -> int:
+    """Gate ``results`` against a recorded baseline file; returns exit code.
+
+    A missing baseline is **not** a pass: the gate prints an explicit
+    "no baseline, gate skipped" warning (a fresh checkout or a renamed
+    artifact should be visible in CI logs, not silently green) and returns
+    0 without comparing anything.  With a baseline present, regressions
+    print as ``REGRESSION:`` lines and the gate returns 1.
+    """
+    baseline_path = Path(baseline_path)
+    if not baseline_path.is_file():
+        print(f"WARNING: no baseline at {baseline_path}, gate skipped")
+        return 0
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    failures = check_against_baseline(results, baseline, max_regression)
+    for failure in failures:
+        print(f"REGRESSION: {failure}")
+    if failures:
+        return 1
+    print(f"baseline check passed ({baseline_path})")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--sizes", type=int, nargs="+",
@@ -416,14 +440,7 @@ def main(argv: list[str] | None = None) -> int:
     print(f"wrote {args.out}")
 
     if args.check:
-        baseline = json.loads(Path(args.check).read_text(encoding="utf-8"))
-        failures = check_against_baseline(results, baseline,
-                                          args.max_regression)
-        for failure in failures:
-            print(f"REGRESSION: {failure}")
-        if failures:
-            return 1
-        print(f"baseline check passed ({args.check})")
+        return run_baseline_gate(results, args.check, args.max_regression)
     return 0
 
 

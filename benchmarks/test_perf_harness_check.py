@@ -1,0 +1,72 @@
+"""The perf harness's baseline gate: both branches, without benchmarking.
+
+``run_baseline_gate`` is driven with hand-built results/baseline dicts so
+the tests exercise the gate logic itself — the missing-baseline warning
+(which must be loud, not a silent pass), the pass path, and the
+regression-failure path — in milliseconds.
+"""
+
+from __future__ import annotations
+
+import json
+
+import perf_harness
+
+
+def _results(serve_qps: float = 1000.0, search_qps: float = 50_000.0) -> dict:
+    return {
+        "serve": {"qps": serve_qps},
+        "search": {"1000": {"qps": search_qps}},
+        "runtime": {"events_per_s": 1e6, "sim_requests_per_s": 1e4},
+        "persistence": {"save_examples_per_s": 1e4,
+                        "restore_examples_per_s": 1e4},
+    }
+
+
+class TestMissingBaseline:
+    def test_warns_and_skips(self, tmp_path, capsys):
+        missing = tmp_path / "nope" / "baseline.json"
+        code = perf_harness.run_baseline_gate(_results(), missing)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no baseline" in out
+        assert "gate skipped" in out
+        assert str(missing) in out
+        assert "REGRESSION" not in out
+
+    def test_directory_is_not_a_baseline(self, tmp_path, capsys):
+        code = perf_harness.run_baseline_gate(_results(), tmp_path)
+        assert code == 0
+        assert "gate skipped" in capsys.readouterr().out
+
+
+class TestPresentBaseline:
+    def test_passes_when_no_regression(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(_results()), encoding="utf-8")
+        code = perf_harness.run_baseline_gate(_results(), baseline)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "baseline check passed" in out
+        assert "gate skipped" not in out
+
+    def test_fails_on_regression(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(_results(serve_qps=1000.0)),
+                            encoding="utf-8")
+        # 50% serve-throughput drop, well past the 30% allowance.
+        code = perf_harness.run_baseline_gate(
+            _results(serve_qps=500.0), baseline)
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REGRESSION: serve throughput regressed" in out
+
+    def test_max_regression_is_honoured(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(_results(serve_qps=1000.0)),
+                            encoding="utf-8")
+        dropped = _results(serve_qps=800.0)  # a 20% drop
+        assert perf_harness.run_baseline_gate(
+            dropped, baseline, max_regression=0.30) == 0
+        assert perf_harness.run_baseline_gate(
+            dropped, baseline, max_regression=0.10) == 1

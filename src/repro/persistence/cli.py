@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
 from pathlib import Path
 
 
@@ -177,6 +178,19 @@ def main(argv: list[str] | None = None) -> int:
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.
         return 0
+    except FileNotFoundError as exc:
+        # Operator-facing tool: a mistyped path gets a one-line message and
+        # a distinct exit code, not a traceback.
+        print(f"error: no such file: {exc.filename or exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: not a valid snapshot/WAL (corrupt JSON): {exc}",
+              file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        # load_snapshot/WAL validation errors (wrong format, bad seq, ...).
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

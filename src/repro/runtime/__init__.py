@@ -17,6 +17,15 @@ Determinism rules (see ``docs/RUNTIME.md``):
   and event counts are reproducible.
 """
 
+from repro.runtime.chaos import (
+    CRASH_RECOVERY,
+    REPLICA_CHAOS,
+    CrashRecoverySource,
+    FaultScheduleSource,
+    ReplicaKillSource,
+    ServiceHolder,
+    SlowShardSource,
+)
 from repro.runtime.loop import Event, EventLoop
 from repro.runtime.sources import (
     ARRIVAL,
@@ -44,10 +53,17 @@ __all__ = [
     "MaintenanceTickSource",
     "CheckpointTickSource",
     "ReplicaSample",
+    "ServiceHolder",
+    "ReplicaKillSource",
+    "SlowShardSource",
+    "FaultScheduleSource",
+    "CrashRecoverySource",
     "ARRIVAL",
     "FLUSH",
     "FINISH",
     "AUTOSCALE_TICK",
     "MAINTENANCE_TICK",
     "CHECKPOINT_TICK",
+    "REPLICA_CHAOS",
+    "CRASH_RECOVERY",
 ]

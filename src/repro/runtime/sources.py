@@ -174,7 +174,8 @@ class TraceArrivalSource:
         model_name, examples = self.router(request, self._cluster)
         queue = self._cluster.enqueue(model_name, request, examples,
                                       self._loop.now)
-        self._cluster.drain(queue)
+        if queue is not None:  # None = shed at admission (queue-depth cap)
+            self._cluster.drain(queue)
 
 
 class BatchFlushSource:
@@ -223,8 +224,10 @@ class BatchFlushSource:
         touched = []
         for (request, arrival_s), (model_name, examples) in zip(batch,
                                                                 decisions):
-            touched.append(self._cluster.enqueue(model_name, request,
-                                                 examples, arrival_s))
+            queue = self._cluster.enqueue(model_name, request, examples,
+                                          arrival_s)
+            if queue is not None:  # None = shed at admission
+                touched.append(queue)
         for queue in touched:
             self._cluster.drain(queue)
 

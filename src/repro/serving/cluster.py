@@ -20,7 +20,12 @@ from repro.llm.model import SimulatedLLM
 from repro.runtime.loop import Event, EventLoop
 from repro.runtime.sources import FINISH, BatchFlushSource, TraceArrivalSource
 from repro.serving.engine import BatchedRetrievalEngine
-from repro.serving.records import ScalingEvent, ServedRequest, ServingReport
+from repro.serving.records import (
+    ScalingEvent,
+    ServedRequest,
+    ServingReport,
+    ShedEvent,
+)
 from repro.workload.request import Request
 
 # A routing decision: which model serves the request, with which examples.
@@ -70,6 +75,7 @@ class ClusterConfig:
 
     deployments: list[ModelDeployment]
     gpu_budget: int | None = 16   # the paper's 16xA100 cluster; None = unchecked
+    max_queue_depth: int | None = None  # per-model backlog cap; None = unbounded
 
     def __post_init__(self) -> None:
         names = [d.model.name for d in self.deployments]
@@ -81,6 +87,10 @@ class ClusterConfig:
                 raise ValueError(
                     f"deployments need {used} GPUs, budget is {self.gpu_budget}"
                 )
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
 
 
 class _ModelQueue:
@@ -137,6 +147,9 @@ class ClusterSimulator:
         self.report = ServingReport()
         self.dropped: list[str] = []
         self._on_complete: Callable[[Request, ServedRequest], None] | None = None
+        # Optional (model_name, request, now) -> extra seconds of TTFT,
+        # installed by chaos sources (slow-shard injection); None = healthy.
+        self.latency_penalty: Callable[[str, Request, float], float] | None = None
 
     # ----- state the router (and sources) can read ----------------------
 
@@ -219,15 +232,25 @@ class ClusterSimulator:
     # ----- host surface the event sources drive --------------------------
 
     def enqueue(self, model_name: str, request: Request,
-                examples: list[ExampleView], arrival_s: float) -> _ModelQueue:
+                examples: list[ExampleView], arrival_s: float) -> _ModelQueue | None:
         """Queue a routed request; returns its queue (callers drain it).
 
         ``arrival_s`` is the request's *original* arrival time, which may
         predate ``now`` on the batched path — micro-batching delay is
         charged to queue wait, as the section-7 latency accounting
-        requires.
+        requires.  When :attr:`ClusterConfig.max_queue_depth` is set and
+        the model's backlog has reached it, the request is *shed* instead:
+        a :class:`~repro.serving.records.ShedEvent` lands in the report and
+        ``None`` is returned (callers must skip the drain).
         """
         queue = self._queue(model_name)
+        depth = self.config.max_queue_depth
+        if depth is not None and len(queue.pending) >= depth:
+            self.report.shed.append(ShedEvent(
+                time_s=self.now, model_name=model_name,
+                request_id=request.request_id,
+            ))
+            return None
         queue.pending.append((request, examples, arrival_s))
         return queue
 
@@ -244,13 +267,18 @@ class ClusterSimulator:
             request, examples, arrival_s = queue.pending.popleft()
             queue.in_service += 1
             result = queue.deployment.model.generate(request, examples)
+            penalty = 0.0
+            if self.latency_penalty is not None:
+                penalty = self.latency_penalty(
+                    queue.deployment.model.name, request, self.now
+                )
             record = ServedRequest(
                 request_id=request.request_id,
                 model_name=result.model_name,
                 arrival_s=arrival_s,
                 start_s=self.now,
-                finish_s=self.now + result.total_s,
-                ttft_s=result.ttft_s,
+                finish_s=self.now + result.total_s + penalty,
+                ttft_s=result.ttft_s + penalty,
                 quality=result.quality,
                 prompt_tokens=result.prompt_tokens,
                 output_tokens=result.output_tokens,

@@ -69,6 +69,22 @@ class ScalingEvent:
     total_gpus: int      # cluster-wide GPUs after the change
 
 
+@dataclass(frozen=True)
+class ShedEvent:
+    """One request refused at admission because its queue was full.
+
+    Emitted by :meth:`ClusterSimulator.enqueue` when a
+    :attr:`~repro.serving.cluster.ClusterConfig.max_queue_depth` is set and
+    the routed model's backlog has reached it — the load-shedding backstop
+    a production serving tier applies under flash crowds rather than
+    letting queue waits grow without bound.
+    """
+
+    time_s: float
+    model_name: str
+    request_id: str
+
+
 @dataclass
 class ServingReport:
     """Aggregates over one simulated run.
@@ -83,6 +99,7 @@ class ServingReport:
 
     records: list[ServedRequest] = field(default_factory=list)
     scaling: list[ScalingEvent] = field(default_factory=list)
+    shed: list[ShedEvent] = field(default_factory=list)
 
     @property
     def n(self) -> int:
@@ -122,3 +139,49 @@ class ServingReport:
 
     def total_cost(self) -> float:
         return sum(r.cost for r in self.records)
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of admitted-or-shed requests that were shed."""
+        total = self.n + len(self.shed)
+        return len(self.shed) / total if total else 0.0
+
+    def slo_report(self) -> dict:
+        """The run's SLO observables as a JSON-ready dict.
+
+        The quantities an operator's dashboard (and the chaos suite's
+        pinned goldens, ``tests/golden/slo_reports.json``) watch: served
+        and shed counts, throughput, end-to-end and TTFT latency
+        percentiles, per-model serve counts, and the scaling timeline.
+        Floats are rounded to 9 decimal places so the dict is stable under
+        JSON round-trips.
+        """
+        def r9(x: float) -> float:
+            return round(float(x), 9)
+
+        latency = self.latency_summary()
+        ttft = self.ttft_summary()
+        return {
+            "n_served": self.n,
+            "n_shed": len(self.shed),
+            "shed_rate": r9(self.shed_rate),
+            "throughput_rps": r9(self.throughput_rps),
+            "latency_s": {
+                "p50": r9(latency.p50), "p90": r9(latency.p90),
+                "p99": r9(latency.p99), "max": r9(latency.maximum),
+            },
+            "ttft_s": {
+                "p50": r9(ttft.p50), "p90": r9(ttft.p90),
+                "p99": r9(ttft.p99), "max": r9(ttft.maximum),
+            },
+            "per_model": {
+                name: sub.n for name, sub in sorted(self.by_model().items())
+            },
+            "scaling": [
+                [r9(e.time_s), e.model_name, e.applied_delta, e.replicas]
+                for e in self.scaling
+            ],
+            "shed_timeline": [
+                [r9(e.time_s), e.model_name] for e in self.shed
+            ],
+        }

@@ -30,6 +30,17 @@ from repro.workload.trace import (
     evaluation_trace,
     poisson_trace,
 )
+from repro.workload.adversarial import (
+    CompositeTrace,
+    FlashCrowd,
+    TenantSkewTrace,
+    TopicBurstTrace,
+    composite_trace,
+    correlated_topic_requests,
+    flash_crowd_trace,
+    tenant_skew_trace,
+    topic_burst_trace,
+)
 from repro.workload.feedback import FeedbackSimulator, PreferenceFeedback
 from repro.workload.preprocess import deduplicate, filter_non_english, preprocess
 from repro.workload.drift import DriftingWorkload
@@ -47,6 +58,15 @@ __all__ = [
     "diurnal_trace",
     "evaluation_trace",
     "poisson_trace",
+    "CompositeTrace",
+    "FlashCrowd",
+    "TenantSkewTrace",
+    "TopicBurstTrace",
+    "composite_trace",
+    "correlated_topic_requests",
+    "flash_crowd_trace",
+    "tenant_skew_trace",
+    "topic_burst_trace",
     "FeedbackSimulator",
     "PreferenceFeedback",
     "deduplicate",

@@ -1,0 +1,64 @@
+"""Tiered Hypothesis settings profiles for the test suite.
+
+Three registered profiles control how hard property tests work:
+
+* ``dev`` (default) — fast local iteration; small example counts.
+* ``ci`` — the tier-1 gate; moderate counts, still minutes not hours.
+* ``nightly`` — the adversarial sweep; large counts, run by the nightly
+  workflow (``.github/workflows/nightly.yml``).
+
+Select with the ``HYPOTHESIS_PROFILE`` environment variable::
+
+    HYPOTHESIS_PROFILE=nightly PYTHONPATH=src python -m pytest tests/
+
+Individual tests pick a *tier* — ``QUICK``, ``STANDARD``, ``DETERMINISM``,
+``SCENARIO`` — via ``@settings(...)`` kwargs; the tier's ``max_examples``
+scales with the loaded profile so one decorator serves all three depths.
+Deadlines are disabled everywhere: scenario-sized examples (full serving
+runs) are legitimately slow, and wall-clock deadlines are flaky under CI
+load.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+_PROFILE_SCALE = {"dev": 1, "ci": 2, "nightly": 10}
+
+for _name, _scale in _PROFILE_SCALE.items():
+    settings.register_profile(
+        _name,
+        max_examples=25 * _scale,  # default for tests with bare @given
+        deadline=None,
+        print_blob=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+
+PROFILE = os.environ.get("HYPOTHESIS_PROFILE", "dev")
+if PROFILE not in _PROFILE_SCALE:
+    raise ValueError(
+        f"HYPOTHESIS_PROFILE={PROFILE!r} unknown; "
+        f"choose one of {sorted(_PROFILE_SCALE)}"
+    )
+settings.load_profile(PROFILE)
+
+_SCALE = _PROFILE_SCALE[PROFILE]
+
+
+def _tier(base_examples: int) -> dict:
+    """Settings kwargs for one tier under the loaded profile."""
+    return {"max_examples": base_examples * _SCALE, "deadline": None}
+
+
+# Cheap invariants (pure-python data structures): run many examples.
+QUICK = _tier(25)
+# The bread-and-butter tier for generator properties.
+STANDARD = _tier(10)
+# Seed-stability / bit-identity checks: each example runs a generator
+# twice, so examples cost double but the property is the project's core
+# guarantee — keep the count up.
+DETERMINISM = _tier(10)
+# Whole serving scenarios per example: expensive, few examples.
+SCENARIO = _tier(3)

@@ -24,6 +24,7 @@ DOC_FILES = [
     REPO_ROOT / "docs" / "PERFORMANCE.md",
     REPO_ROOT / "docs" / "RUNTIME.md",
     REPO_ROOT / "docs" / "PERSISTENCE.md",
+    REPO_ROOT / "docs" / "TESTING.md",
 ]
 
 _FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)

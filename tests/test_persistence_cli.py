@@ -1,0 +1,135 @@
+"""The operator CLI (``python -m repro.persistence.cli``) end to end.
+
+Drives ``main(argv)`` in process (capsys for output) over real snapshot
+and WAL files: ``snapshot`` builds a fixture, ``inspect`` reads it back
+(human lines plus the ``--json`` summary), ``restore`` replays WAL tails —
+including the stale-epoch case, where every journal record predates the
+snapshot and exactly zero must be applied — and the error paths exit with
+code 2 and a one-line message instead of a traceback.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+
+import pytest
+
+from repro.core.config import ICCacheConfig, ManagerConfig
+from repro.core.service import ICCacheService
+from repro.persistence.cli import main
+from repro.persistence.wal import Checkpointer
+from repro.workload.datasets import SyntheticDataset
+
+BANK = 30
+SERVE = 5
+
+
+@pytest.fixture(scope="module")
+def snapshot_path(tmp_path_factory):
+    """A real snapshot produced by the CLI's own ``snapshot`` command."""
+    out = tmp_path_factory.mktemp("cli") / "snapshot.json"
+    assert main(["snapshot", "--out", str(out), "--bank", str(BANK),
+                 "--serve", str(SERVE)]) == 0
+    return out
+
+
+class TestSnapshot:
+    def test_reports_what_it_wrote(self, snapshot_path, capsys):
+        # The fixture already ran the command; run again for the output.
+        out = snapshot_path.parent / "again.json"
+        assert main(["snapshot", "--out", str(out), "--bank", str(BANK),
+                     "--serve", str(SERVE)]) == 0
+        printed = capsys.readouterr().out
+        assert str(out) in printed
+        assert f"{SERVE} served" in printed
+        assert out.is_file()
+        assert json.loads(out.read_text(encoding="utf-8"))["format"]
+
+
+class TestInspect:
+    def test_inventory_lines(self, snapshot_path, capsys):
+        assert main(["inspect", str(snapshot_path)]) == 0
+        out = capsys.readouterr().out
+        assert "format:" in out
+        assert "examples" in out
+        assert f"served={SERVE}" in out
+        assert "monolithic index" in out
+
+    def test_json_summary(self, snapshot_path, capsys):
+        assert main(["inspect", str(snapshot_path), "--json"]) == 0
+        out = capsys.readouterr().out
+        summary = json.loads(out.strip().splitlines()[-1])
+        assert summary["served"] == SERVE
+        assert summary["examples"] > 0
+        assert summary["total_bytes"] > 0
+
+
+class TestRestore:
+    def test_restore_snapshot_and_serve(self, snapshot_path, capsys):
+        assert main(["restore", str(snapshot_path), "--serve", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "restored:" in out
+        assert f"{SERVE} served" in out
+        # Two demo requests actually served on the restored instance.
+        assert out.count("-> ") == 2
+
+    def test_restore_with_stale_epoch_wal(self, tmp_path, capsys):
+        """A WAL wholly superseded by the snapshot replays zero records."""
+        service = ICCacheService(ICCacheConfig(
+            seed=0, manager=ManagerConfig(sanitize=False)))
+        dataset = SyntheticDataset("ms_marco", scale=0.0005, seed=0)
+        service.seed_cache(dataset.example_bank_requests()[:BANK])
+        checkpointer = Checkpointer(service, tmp_path / "ckpt")
+        for request in dataset.online_requests(SERVE):
+            service.serve(request, load=0.3)
+        assert len(checkpointer.wal) > 0
+        # Preserve the epoch-0 journal, then checkpoint: the snapshot bumps
+        # to epoch 1 and subsumes every preserved record.
+        stale_wal = tmp_path / "stale_wal.jsonl"
+        shutil.copy(checkpointer.wal_path, stale_wal)
+        checkpointer.checkpoint()
+
+        assert main(["restore", str(checkpointer.snapshot_path),
+                     "--wal", str(stale_wal)]) == 0
+        out = capsys.readouterr().out
+        assert f"replayed 0 WAL records from {stale_wal}" in out
+        assert "restored:" in out
+
+    def test_restore_checkpoint_directory(self, tmp_path, capsys):
+        service = ICCacheService(ICCacheConfig(
+            seed=0, manager=ManagerConfig(sanitize=False)))
+        dataset = SyntheticDataset("ms_marco", scale=0.0005, seed=0)
+        service.seed_cache(dataset.example_bank_requests()[:BANK])
+        checkpointer = Checkpointer(service, tmp_path / "ckpt")
+        checkpointer.checkpoint()
+        assert main(["restore", str(tmp_path / "ckpt")]) == 0
+        assert "restored:" in capsys.readouterr().out
+
+
+class TestErrorPaths:
+    def test_inspect_missing_path_exits_2(self, tmp_path, capsys):
+        missing = tmp_path / "does-not-exist.json"
+        assert main(["inspect", str(missing)]) == 2
+        err = capsys.readouterr().err
+        assert "no such file" in err
+        assert str(missing) in err
+
+    def test_restore_missing_path_exits_2(self, tmp_path, capsys):
+        assert main(["restore", str(tmp_path / "nope.json")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_inspect_corrupt_json_exits_2(self, tmp_path, capsys):
+        corrupt = tmp_path / "corrupt.json"
+        corrupt.write_text("{definitely not json", encoding="utf-8")
+        assert main(["inspect", str(corrupt)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_inspect_wrong_format_exits_2(self, tmp_path, capsys):
+        # Valid JSON that is not a snapshot: load_snapshot's validation
+        # error surfaces as the one-line message, not a traceback.
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"format": "something-else"}),
+                         encoding="utf-8")
+        assert main(["inspect", str(bogus)]) == 2
+        assert "error:" in capsys.readouterr().err
