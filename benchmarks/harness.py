@@ -13,7 +13,7 @@ from collections import defaultdict
 
 import numpy as np
 
-from repro.core.config import ICCacheConfig, ManagerConfig, SelectorConfig
+from repro.core.config import ICCacheConfig, ManagerConfig
 from repro.core.service import ICCacheService
 from repro.judge import Autorater, PairwiseReport, evaluate_pairwise
 from repro.llm.icl import ExampleView

@@ -9,7 +9,6 @@ latency stays bounded (section 4.2's feedback controller).
 import numpy as np
 
 from harness import make_service, print_table, run_once
-from repro.llm.zoo import get_model
 from repro.serving.cluster import ClusterConfig, ClusterSimulator, ModelDeployment
 from repro.workload.trace import ArrivalTrace
 

@@ -7,7 +7,6 @@ the selection probability of the cheapest viable model tends to 1 as load
 grows.
 """
 
-import numpy as np
 
 from harness import print_table, run_once
 from repro.core.config import RouterConfig

@@ -8,7 +8,7 @@ retention needs far more; IC-Cache dominates the naive curve at every size.
 
 import numpy as np
 
-from harness import judged, make_service, print_table, run_once
+from harness import make_service, print_table, run_once
 from repro.baselines.naive_cache import NaiveCachePolicy
 from repro.core.cache import ExampleCache
 

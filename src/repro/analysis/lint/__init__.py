@@ -1,0 +1,39 @@
+"""reprolint: the repo's AST determinism-and-invariants linter.
+
+Moves the coding rules behind the golden/warm-restart/chaos bit-identity
+proofs (seeded RNG, virtual time, journaled cache mutations, stable
+iteration, import layering) from CONTRIBUTING prose into a checked pass:
+
+>>> python -m repro.analysis.lint src tests --format json
+
+Rule catalog, suppression syntax (``# repro: allow[CODE]``), and the
+baseline workflow are documented in ``docs/STATIC_ANALYSIS.md``.
+"""
+
+from repro.analysis.lint.baseline import Baseline, apply_baseline
+from repro.analysis.lint.cli import main
+from repro.analysis.lint.engine import (
+    Engine,
+    FileContext,
+    Finding,
+    LintReport,
+    iter_python_files,
+    module_name_for,
+)
+from repro.analysis.lint.registry import Rule, all_rules, register, rule_classes
+
+__all__ = [
+    "Baseline",
+    "Engine",
+    "FileContext",
+    "Finding",
+    "LintReport",
+    "Rule",
+    "all_rules",
+    "apply_baseline",
+    "iter_python_files",
+    "main",
+    "module_name_for",
+    "register",
+    "rule_classes",
+]

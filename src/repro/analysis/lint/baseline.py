@@ -1,0 +1,88 @@
+"""Baseline file: grandfathered findings that do not fail the gate.
+
+The baseline maps a line-insensitive finding identity
+(``path::CODE::message``) to an allowed occurrence count.  The gate then
+distinguishes three populations per run:
+
+* **new** — findings beyond the baselined count: these fail the run.
+* **baselined** — grandfathered occurrences (matched lowest-line-first,
+  so drive-by fixes retire baseline slots deterministically).
+* **stale** — baseline entries the tree no longer produces: reported so
+  the file shrinks instead of fossilizing, and dropped by
+  ``--write-baseline``.
+
+The committed file is empty on purpose (every violation the linter found
+at introduction time was fixed, not grandfathered); the mechanism exists
+so a future rule can land strict while its backlog burns down visibly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.lint.engine import Finding
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Allowed-count per finding identity, round-tripped as JSON."""
+
+    entries: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        version = int(payload.get("version", 0))
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                f"{path}: unsupported baseline version {version} "
+                f"(expected {BASELINE_VERSION})"
+            )
+        entries = {str(k): int(v) for k, v in payload.get("entries", {}).items()}
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        entries: dict[str, int] = {}
+        for finding in findings:
+            entries[finding.baseline_key] = entries.get(
+                finding.baseline_key, 0) + 1
+        return cls(entries=entries)
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": {k: self.entries[k] for k in sorted(self.entries)},
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        return path
+
+
+def apply_baseline(findings: list[Finding], baseline: Baseline
+                   ) -> tuple[list[Finding], list[Finding], list[str]]:
+    """Split findings into ``(new, baselined)`` and list stale keys.
+
+    Occurrences are matched against each key's allowance lowest-line
+    first; whatever allowance is left unmatched makes the key stale
+    (fully unmatched keys are stale too).
+    """
+    remaining = dict(baseline.entries)
+    new: list[Finding] = []
+    baselined: list[Finding] = []
+    for finding in sorted(findings):
+        key = finding.baseline_key
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    stale = sorted(key for key, count in remaining.items() if count > 0)
+    return new, baselined, stale

@@ -1,0 +1,62 @@
+"""Rule registry: stable codes mapped to rule classes.
+
+Rules self-register at import time via the :func:`register` decorator;
+:func:`all_rules` imports the rule modules (so registration happens even
+when the caller only touched the registry) and returns one fresh
+instance per rule, sorted by code.  Fresh instances matter: rules cache
+cross-file artifacts (the WAL record vocabulary, the middleware hook
+surface) on ``self``, and those caches must not leak between runs over
+different trees (the fixture tests lint synthetic repos).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.lint.engine import FileContext, Finding
+
+_RULES: dict[str, type["Rule"]] = {}
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``code`` (stable, e.g. ``DET001``), ``name`` (short
+    kebab-case slug) and ``summary`` (one line, shown by ``--list-rules``
+    and mirrored in ``docs/STATIC_ANALYSIS.md``), and implement
+    :meth:`check` over a :class:`FileContext`.
+    """
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+        yield  # pragma: no cover - makes every override a generator peer
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: add ``cls`` to the registry, rejecting collisions."""
+    if not cls.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    existing = _RULES.get(cls.code)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"rule code {cls.code!r} already registered by {existing.__name__}"
+        )
+    _RULES[cls.code] = cls
+    return cls
+
+
+def rule_classes() -> dict[str, type[Rule]]:
+    """Code -> class for every registered rule (rule modules imported)."""
+    # Importing the package's rules/__init__ pulls in every rule module;
+    # registration is a side effect of those imports.
+    import repro.analysis.lint.rules  # noqa: F401  (import-for-registration)
+    return dict(sorted(_RULES.items()))
+
+
+def all_rules() -> list[Rule]:
+    """One fresh instance of every registered rule, sorted by code."""
+    return [cls() for cls in rule_classes().values()]

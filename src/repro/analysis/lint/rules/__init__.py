@@ -1,0 +1,15 @@
+"""Rule modules; importing this package registers every rule.
+
+Three families (see ``docs/STATIC_ANALYSIS.md`` for the catalog):
+
+* determinism — DET001 unseeded RNG, DET002 wall-clock reads,
+  DET003 set-iteration order, DET004 dict mutation during iteration
+* durability — WAL001 un-journaled cache mutations / unknown record
+  kinds, WAL002 to_state/from_state snapshot-field pairing
+* architecture — ARCH001 import-layering DAG, ARCH002 protocol surface
+  (ServeMiddleware hooks, EventSource.attach)
+"""
+
+from repro.analysis.lint.rules import architecture, determinism, durability
+
+__all__ = ["architecture", "determinism", "durability"]

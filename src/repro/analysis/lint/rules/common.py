@@ -1,0 +1,83 @@
+"""Shared helpers for rule implementations.
+
+``ImportMap`` resolves call sites back to canonical dotted paths
+(``np.random.default_rng(...)`` -> ``numpy.random.default_rng``) using
+the file's own import statements, so the determinism rules key on what a
+name *is bound to*, not what it happens to be spelled as.  ``find_repo_file``
+locates sibling source files (``persistence/wal.py``,
+``pipeline/protocols.py``) from any file inside a ``repro`` package tree,
+which is how the durability/architecture rules derive their vocabularies
+structurally instead of hard-coding them.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.lint.engine import FileContext, dotted_name
+
+
+class ImportMap:
+    """What local names are bound to, per the file's import statements."""
+
+    def __init__(self, ctx: FileContext) -> None:
+        #: local alias -> imported module path (``np`` -> ``numpy``)
+        self.modules: dict[str, str] = {}
+        #: local name -> fully qualified origin
+        #: (``default_rng`` -> ``numpy.random.default_rng``)
+        self.names: dict[str, str] = {}
+        for node in ctx.nodes(ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                self.modules[local] = target
+        for node in ctx.nodes(ast.ImportFrom):
+            if node.level or node.module is None:
+                continue  # relative imports never shadow stdlib/numpy
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                self.names[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Canonical dotted path for a Name/Attribute chain, or ``None``."""
+        dotted = dotted_name(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        if head in self.modules:
+            base = self.modules[head]
+        elif head in self.names:
+            base = self.names[head]
+        else:
+            return None
+        return f"{base}.{rest}" if rest else base
+
+    def imports_from(self, prefix: str) -> bool:
+        """Whether any import in the file targets ``prefix`` (or below)."""
+        candidates = list(self.modules.values()) + list(self.names.values())
+        return any(c == prefix or c.startswith(prefix + ".") for c in candidates)
+
+
+def find_repo_file(ctx: FileContext, *relative: str) -> Path | None:
+    """Locate ``repro/<relative...>`` from ``ctx``'s own path.
+
+    Walks to the last ``repro`` component of the linted file's path and
+    resolves the requested file under it — so fixture trees carrying
+    their own ``wal.py``/``protocols.py`` are honored, and rules linting
+    the real tree read the real vocabulary files.
+    """
+    parts = list(ctx.path.parts)
+    if "repro" not in parts:
+        return None
+    anchor = len(parts) - 1 - parts[::-1].index("repro")
+    root = Path(*parts[: anchor + 1])
+    candidate = root.joinpath(*relative)
+    return candidate if candidate.is_file() else None
+
+
+def call_name(node: ast.Call) -> str | None:
+    """Bare callable name for simple ``name(...)`` calls."""
+    return node.func.id if isinstance(node.func, ast.Name) else None

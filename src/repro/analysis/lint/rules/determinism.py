@@ -1,0 +1,321 @@
+"""Determinism rules (DET family).
+
+Every headline proof in this repo — the golden serve paths, warm-restart
+bit-identity, kill-mid-flash-crowd bit-identity — assumes all randomness
+flows through explicitly seeded :class:`numpy.random.Generator` streams
+(:mod:`repro.utils.rng`) and all time flows through the simulated clock
+(:mod:`repro.utils.clock`).  These rules catch the leaks: global-state
+RNG, unseeded generators, wall-clock reads, and the two iteration
+hazards that silently break run-to-run stability (set iteration order,
+mutating a dict while iterating it).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint.engine import FileContext, Finding, dotted_name
+from repro.analysis.lint.registry import Rule, register
+from repro.analysis.lint.rules.common import ImportMap, call_name
+
+#: numpy.random attributes that are NOT the legacy global-state API.
+_NP_SEEDED_API = frozenset({
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937", "RandomState",
+})
+
+#: Constructors that are fine *when given a seed argument*.
+_SEEDABLE = frozenset({
+    "numpy.random.default_rng", "numpy.random.RandomState",
+    "numpy.random.SeedSequence", "numpy.random.PCG64",
+    "numpy.random.PCG64DXSM", "numpy.random.Philox",
+    "numpy.random.SFC64", "numpy.random.MT19937", "random.Random",
+})
+
+#: Wall-clock reads banned inside ``repro.*`` modules.
+_WALL_CLOCK = frozenset({
+    "time.time", "time.time_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.clock_gettime", "time.clock_gettime_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: ``repro.*`` modules allowed to read the wall clock.  Empty today — the
+#: simulation substrate is fully virtual-time — and kept as an explicit
+#: extension point so any future exception is a reviewed one-line diff
+#: here instead of a scattered suppression.
+WALL_CLOCK_ALLOWED_MODULES: frozenset[str] = frozenset()
+
+#: Order-insensitive consumers: feeding them a set is fine.
+_ORDER_SAFE = frozenset({
+    "sorted", "len", "sum", "min", "max", "any", "all",
+    "set", "frozenset", "bool",
+})
+
+#: Consumers that materialize iteration order into ordered state.
+_ORDER_SENSITIVE = frozenset({"list", "tuple", "enumerate", "iter", "reversed"})
+
+
+@register
+class UnseededRngRule(Rule):
+    code = "DET001"
+    name = "unseeded-rng"
+    summary = ("global-state or unseeded RNG call; thread a seeded "
+               "Generator from repro.utils.rng instead")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.module == "repro.utils.rng":
+            return  # the one sanctioned wrapper around default_rng
+        imports = ImportMap(ctx)
+        for node in ctx.nodes(ast.Call):
+            target = imports.resolve(node.func)
+            if target is None:
+                continue
+            if target in _SEEDABLE:
+                if not node.args and not node.keywords:
+                    yield ctx.finding(
+                        node, self.code,
+                        f"{target}() without a seed draws from OS entropy; "
+                        "pass an explicit seed (see repro.utils.rng.make_rng)",
+                    )
+                continue
+            if target.startswith("numpy.random."):
+                attr = target[len("numpy.random."):]
+                if "." not in attr and attr not in _NP_SEEDED_API:
+                    yield ctx.finding(
+                        node, self.code,
+                        f"numpy.random.{attr} uses the process-global legacy "
+                        "RNG; use a seeded numpy.random.Generator "
+                        "(repro.utils.rng.make_rng / spawn_rng)",
+                    )
+            elif target.startswith("random.") and target.count(".") == 1:
+                if target == "random.SystemRandom":
+                    continue  # explicit OS entropy, like make_rng(None)
+                yield ctx.finding(
+                    node, self.code,
+                    f"stdlib {target} uses the process-global RNG; use a "
+                    "seeded numpy.random.Generator "
+                    "(repro.utils.rng.make_rng / spawn_rng)",
+                )
+
+
+@register
+class WallClockRule(Rule):
+    code = "DET002"
+    name = "wall-clock-read"
+    summary = ("wall-clock read inside repro.*; deterministic modules "
+               "must use SimClock / event-loop time")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.module is None or not ctx.module.startswith("repro."):
+            return
+        if ctx.module in WALL_CLOCK_ALLOWED_MODULES:
+            return
+        imports = ImportMap(ctx)
+        for node in ctx.nodes(ast.Call):
+            target = imports.resolve(node.func)
+            if target in _WALL_CLOCK:
+                yield ctx.finding(
+                    node, self.code,
+                    f"{target}() reads the wall clock; repro.* modules are "
+                    "virtual-time only (repro.utils.clock.SimClock / "
+                    "EventLoop.now)",
+                )
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """Syntactic set expressions, including set-algebra over them."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and call_name(node) in ("set", "frozenset"):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)):
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+def _set_typed_names(ctx: FileContext) -> set[str]:
+    """Names (locals and ``self.x`` attributes) only ever bound to sets.
+
+    File-wide and deliberately conservative: one non-set assignment, a
+    shadowing parameter, or a loop/with binding of the same name drops it
+    from tracking — so ``ids = set(...); ids = sorted(ids)`` never flags.
+    """
+    assigns: dict[str, list[bool]] = {}
+    unbindable: set[str] = set()
+
+    def note(target: ast.AST, value: ast.AST | None) -> None:
+        name = dotted_name(target)
+        if name is None or (name != target_base(target)):
+            return
+        assigns.setdefault(name, []).append(
+            value is not None and _is_set_expr(value))
+
+    def target_base(target: ast.AST) -> str | None:
+        # Track plain names and self-attributes, nothing deeper.
+        if isinstance(target, ast.Name):
+            return target.id
+        if (isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"):
+            return f"self.{target.attr}"
+        return None
+
+    for node in ctx.nodes(ast.Assign):
+        for tgt in node.targets:
+            note(tgt, node.value)
+    for node in ctx.nodes(ast.AnnAssign):
+        note(node.target, node.value)
+    for node in ctx.nodes(ast.FunctionDef, ast.AsyncFunctionDef):
+        args = node.args
+        for arg in (args.posonlyargs + args.args + args.kwonlyargs
+                    + ([args.vararg] if args.vararg else [])
+                    + ([args.kwarg] if args.kwarg else [])):
+            unbindable.add(arg.arg)
+    for node in ctx.nodes(ast.For, ast.AsyncFor):
+        for sub in ast.walk(node.target):
+            if isinstance(sub, ast.Name):
+                unbindable.add(sub.id)
+    for node in ctx.nodes(ast.comprehension):
+        for sub in ast.walk(node.target):
+            if isinstance(sub, ast.Name):
+                unbindable.add(sub.id)
+    for node in ctx.nodes(ast.withitem):
+        if node.optional_vars is not None:
+            for sub in ast.walk(node.optional_vars):
+                if isinstance(sub, ast.Name):
+                    unbindable.add(sub.id)
+    return {
+        name for name, values in assigns.items()
+        if values and all(values) and name not in unbindable
+        and name.removeprefix("self.") not in unbindable
+    }
+
+
+@register
+class SetIterationRule(Rule):
+    code = "DET003"
+    name = "set-iteration-order"
+    summary = ("iterating a set into ordered state; set order varies "
+               "with PYTHONHASHSEED — sort it first")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        flagged: set[int] = set()
+        set_named = _set_typed_names(ctx)
+        set_nodes = list(ctx.nodes(ast.Set, ast.SetComp)) + [
+            node for node in ctx.nodes(ast.Call)
+            if call_name(node) in ("set", "frozenset")
+        ]
+        for node in set_nodes:
+            # Climb through set-algebra (``set(a) | set(b)``) to the
+            # expression the consumer actually sees.
+            expr: ast.AST = node
+            parent = ctx.parent(expr)
+            while isinstance(parent, ast.BinOp) and _is_set_expr(parent):
+                expr = parent
+                parent = ctx.parent(expr)
+            if id(expr) in flagged:
+                continue
+            consumed_ordered = False
+            if isinstance(parent, (ast.For, ast.AsyncFor)) and parent.iter is expr:
+                consumed_ordered = True
+            elif isinstance(parent, ast.comprehension) and parent.iter is expr:
+                consumed_ordered = True
+            elif (isinstance(parent, ast.Call) and expr in parent.args
+                    and call_name(parent) in _ORDER_SENSITIVE):
+                consumed_ordered = True
+            if consumed_ordered:
+                flagged.add(id(expr))
+                yield ctx.finding(
+                    expr, self.code,
+                    "iteration order of a set depends on PYTHONHASHSEED for "
+                    "str/object elements; wrap in sorted(...) before feeding "
+                    "ordered state",
+                )
+        # Second net: names/attributes only ever bound to set expressions,
+        # fed to iteration or an order-sensitive consumer by name.
+        def is_tracked(node: ast.AST) -> bool:
+            return dotted_name(node) in set_named
+
+        for loop in ctx.nodes(ast.For, ast.AsyncFor):
+            if is_tracked(loop.iter) and id(loop.iter) not in flagged:
+                flagged.add(id(loop.iter))
+                yield ctx.finding(
+                    loop.iter, self.code,
+                    f"'{dotted_name(loop.iter)}' is a set; its iteration "
+                    "order depends on PYTHONHASHSEED — iterate "
+                    f"sorted({dotted_name(loop.iter)}) instead",
+                )
+        for comp in ctx.nodes(ast.comprehension):
+            if is_tracked(comp.iter) and id(comp.iter) not in flagged:
+                flagged.add(id(comp.iter))
+                yield ctx.finding(
+                    comp.iter, self.code,
+                    f"'{dotted_name(comp.iter)}' is a set; its iteration "
+                    "order depends on PYTHONHASHSEED — iterate "
+                    f"sorted({dotted_name(comp.iter)}) instead",
+                )
+        for call in ctx.nodes(ast.Call):
+            if (call_name(call) in _ORDER_SENSITIVE and call.args
+                    and is_tracked(call.args[0])
+                    and id(call.args[0]) not in flagged):
+                flagged.add(id(call.args[0]))
+                yield ctx.finding(
+                    call.args[0], self.code,
+                    f"'{dotted_name(call.args[0])}' is a set; "
+                    f"{call_name(call)}(...) materializes its "
+                    "PYTHONHASHSEED-dependent order — use sorted(...) "
+                    "instead",
+                )
+
+
+@register
+class DictMutationDuringIterationRule(Rule):
+    code = "DET004"
+    name = "dict-mutation-in-loop"
+    summary = ("dict pop/del/clear while iterating the same dict; "
+               "iterate over list(d) instead")
+
+    _MUTATORS = frozenset({"pop", "popitem", "clear"})
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for loop in ctx.nodes(ast.For):
+            iter_expr = loop.iter
+            if isinstance(iter_expr, ast.Call):
+                name = call_name(iter_expr)
+                if name in ("list", "tuple", "sorted"):
+                    continue  # iterating a copy: the sanctioned fix
+                if (isinstance(iter_expr.func, ast.Attribute)
+                        and iter_expr.func.attr in ("keys", "items", "values")):
+                    iter_expr = iter_expr.func.value
+            base = dotted_name(iter_expr)
+            if base is None:
+                continue
+            for stmt in loop.body:
+                for node in ast.walk(stmt):
+                    if (isinstance(node, ast.Call)
+                            and isinstance(node.func, ast.Attribute)
+                            and node.func.attr in self._MUTATORS
+                            and dotted_name(node.func.value) == base):
+                        yield ctx.finding(
+                            node, self.code,
+                            f"{base}.{node.func.attr}(...) inside iteration "
+                            f"over {base}; mutating a container while "
+                            "iterating it raises or skips entries — iterate "
+                            f"over list({base}) instead",
+                        )
+                    elif (isinstance(node, ast.Delete)
+                            and any(isinstance(t, ast.Subscript)
+                                    and dotted_name(t.value) == base
+                                    for t in node.targets)):
+                        yield ctx.finding(
+                            node, self.code,
+                            f"del {base}[...] inside iteration over {base}; "
+                            "mutating a dict while iterating it raises — "
+                            f"iterate over list({base}) instead",
+                        )

@@ -1,10 +1,9 @@
 """Integration tests for ICCacheService and ICCacheClient."""
 
-import numpy as np
 import pytest
 
 from repro.core.client import ICCacheClient
-from repro.core.config import ICCacheConfig, ManagerConfig, SelectorConfig
+from repro.core.config import ICCacheConfig, ManagerConfig
 from repro.core.service import ICCacheService
 from repro.judge import evaluate_pairwise
 from repro.llm.zoo import get_model

@@ -25,6 +25,7 @@ DOC_FILES = [
     REPO_ROOT / "docs" / "RUNTIME.md",
     REPO_ROOT / "docs" / "PERSISTENCE.md",
     REPO_ROOT / "docs" / "TESTING.md",
+    REPO_ROOT / "docs" / "STATIC_ANALYSIS.md",
 ]
 
 _FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)

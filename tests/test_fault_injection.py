@@ -6,7 +6,6 @@ directly to the inference backend to maintain service continuity."
 """
 
 import numpy as np
-import pytest
 
 from repro.core.config import ICCacheConfig, ManagerConfig
 from repro.core.service import ICCacheService

@@ -6,8 +6,6 @@ tuning: every request gets a response, capacity bounds are never violated,
 bookkeeping is consistent, and the simulation is replay-deterministic.
 """
 
-import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core.config import ICCacheConfig, ManagerConfig, RouterConfig, SelectorConfig

@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.judge.autorater import Autorater, TIE_BAND
 from repro.judge.metrics import evaluate_pairwise, win_rate_from_scores

@@ -1,0 +1,270 @@
+"""Engine, suppression, baseline, and CLI tests for reprolint.
+
+Covers the machinery around the rules (which are fixture-tested in
+``test_lint_rules.py``): module resolution, the single-parse dispatch
+guarantee, ``# repro: allow[CODE]`` suppressions, the baseline
+add/expire round-trip, the JSON report schema, and CLI exit codes.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    Baseline,
+    Engine,
+    Finding,
+    apply_baseline,
+    iter_python_files,
+    main,
+    module_name_for,
+)
+from repro.analysis.lint.cli import JSON_SCHEMA_VERSION
+from repro.analysis.lint.engine import PARSE_ERROR_CODE
+
+BAD_RNG = "import random\nx = random.random()\n"
+
+
+def write(tmp_path: Path, relpath: str, source: str) -> Path:
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    return path
+
+
+class TestModuleResolution:
+    def test_resolves_under_src_layout(self, tmp_path):
+        path = write(tmp_path, "src/repro/core/cache.py", "")
+        assert module_name_for(path) == "repro.core.cache"
+
+    def test_package_init_maps_to_package(self, tmp_path):
+        path = write(tmp_path, "src/repro/core/__init__.py", "")
+        assert module_name_for(path) == "repro.core"
+
+    def test_anchors_at_last_repro_component(self, tmp_path):
+        path = write(tmp_path, "work/repro/x/src/repro/utils/rng.py", "")
+        assert module_name_for(path) == "repro.utils.rng"
+
+    def test_none_outside_repro_tree(self, tmp_path):
+        path = write(tmp_path, "scripts/tool.py", "")
+        assert module_name_for(path) is None
+
+
+class TestFileDiscovery:
+    def test_sorted_and_skips_pycache_and_dot_dirs(self, tmp_path):
+        write(tmp_path, "b.py", "")
+        write(tmp_path, "a.py", "")
+        write(tmp_path, "__pycache__/c.py", "")
+        write(tmp_path, ".hidden/d.py", "")
+        write(tmp_path, "notes.txt", "")
+        names = [p.name for p in iter_python_files([tmp_path])]
+        assert names == ["a.py", "b.py"]
+
+    def test_single_file_path_accepted(self, tmp_path):
+        path = write(tmp_path, "only.py", "")
+        assert list(iter_python_files([path])) == [path]
+
+
+class TestSingleParse:
+    def test_each_file_parsed_exactly_once(self, tmp_path, monkeypatch):
+        """The engine indexes once and dispatches all rules off the index."""
+        write(tmp_path, "src/repro/core/a.py", BAD_RNG)
+        write(tmp_path, "src/repro/core/b.py", "import time\nt = time.time()\n")
+        calls = []
+        real_parse = ast.parse
+        monkeypatch.setattr(
+            ast, "parse", lambda *a, **kw: calls.append(a) or real_parse(*a, **kw))
+        report = Engine().lint_paths([tmp_path])
+        assert report.files_scanned == 2
+        assert len(calls) == 2
+        assert {f.code for f in report.findings} == {"DET001", "DET002"}
+
+
+class TestSuppression:
+    def test_inline_allow_suppresses_named_code(self, tmp_path):
+        path = write(tmp_path, "src/repro/core/x.py",
+                     "import random\n"
+                     "x = random.random()  # repro: allow[DET001]\n")
+        findings, suppressed = Engine().lint_file(path)
+        assert findings == []
+        assert [f.code for f in suppressed] == ["DET001"]
+
+    def test_allow_list_and_wildcard(self, tmp_path):
+        path = write(tmp_path, "src/repro/core/x.py",
+                     "import random, time\n"
+                     "a = random.random()  # repro: allow[DET001, DET002]\n"
+                     "b = time.time()  # repro: allow[*]\n")
+        findings, suppressed = Engine().lint_file(path)
+        assert findings == []
+        assert sorted(f.code for f in suppressed) == ["DET001", "DET002"]
+
+    def test_allow_for_other_code_does_not_suppress(self, tmp_path):
+        path = write(tmp_path, "src/repro/core/x.py",
+                     "import random\n"
+                     "x = random.random()  # repro: allow[DET002]\n")
+        findings, _ = Engine().lint_file(path)
+        assert [f.code for f in findings] == ["DET001"]
+
+    def test_allow_only_covers_its_own_line(self, tmp_path):
+        path = write(tmp_path, "src/repro/core/x.py",
+                     "import random  # repro: allow[DET001]\n"
+                     "x = random.random()\n")
+        findings, _ = Engine().lint_file(path)
+        assert [f.code for f in findings] == ["DET001"]
+
+
+class TestParseErrors:
+    def test_syntax_error_is_a_finding_not_a_crash(self, tmp_path):
+        path = write(tmp_path, "src/repro/core/x.py", "def broken(:\n")
+        findings, _ = Engine().lint_file(path)
+        assert [f.code for f in findings] == [PARSE_ERROR_CODE]
+
+
+class TestBaselineRoundTrip:
+    def _findings(self, tmp_path, n=2):
+        path = write(tmp_path, "src/repro/core/x.py",
+                     "import random\n"
+                     + "".join(f"x{i} = random.random()\n" for i in range(n)))
+        findings, _ = Engine().lint_file(path)
+        assert len(findings) == n
+        return findings
+
+    def test_save_load_preserves_entries(self, tmp_path):
+        findings = self._findings(tmp_path)
+        baseline = Baseline.from_findings(findings)
+        restored = Baseline.load(baseline.save(tmp_path / "b.json"))
+        assert restored.entries == baseline.entries
+        assert list(baseline.entries.values()) == [2]  # counted, not keyed by line
+
+    def test_baselined_findings_do_not_fail(self, tmp_path):
+        findings = self._findings(tmp_path)
+        baseline = Baseline.from_findings(findings)
+        new, baselined, stale = apply_baseline(findings, baseline)
+        assert (new, stale) == ([], [])
+        assert baselined == sorted(findings)
+
+    def test_extra_occurrence_beyond_allowance_is_new(self, tmp_path):
+        findings = self._findings(tmp_path, n=3)
+        baseline = Baseline.from_findings(findings[:2])
+        new, baselined, stale = apply_baseline(findings, baseline)
+        assert len(baselined) == 2 and stale == []
+        # Lowest-line-first matching: the surviving "new" one is the last.
+        assert new == [findings[-1]]
+
+    def test_fixed_finding_makes_entry_stale(self, tmp_path):
+        findings = self._findings(tmp_path)
+        baseline = Baseline.from_findings(findings)
+        new, baselined, stale = apply_baseline([], baseline)
+        assert (new, baselined) == ([], [])
+        assert stale == [findings[0].baseline_key]
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert Baseline.load(tmp_path / "absent.json").entries == {}
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text('{"version": 99, "entries": {}}', encoding="utf-8")
+        with pytest.raises(ValueError, match="version 99"):
+            Baseline.load(path)
+
+
+class TestCli:
+    @pytest.fixture()
+    def dirty_tree(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        write(tmp_path, "src/repro/core/x.py", BAD_RNG)
+        return tmp_path
+
+    def test_clean_tree_exits_zero(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        write(tmp_path, "src/repro/core/x.py", "x = 1\n")
+        assert main(["src"]) == 0
+        assert "0 new finding(s)" in capsys.readouterr().out
+
+    def test_new_finding_exits_one(self, dirty_tree, capsys):
+        assert main(["src"]) == 1
+        assert "DET001" in capsys.readouterr().out
+
+    def test_missing_path_exits_two(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["no/such/dir"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_write_baseline_then_gate_passes_then_goes_stale(
+            self, dirty_tree, capsys):
+        assert main(["src", "--write-baseline"]) == 0
+        assert Path("lint_baseline.json").exists()
+        # Grandfathered: the same tree now passes the gate...
+        assert main(["src"]) == 0
+        assert "[baselined]" in capsys.readouterr().out
+        # ...and fixing the violation makes the entry stale (exit 1).
+        write(dirty_tree, "src/repro/core/x.py", "x = 1\n")
+        assert main(["src"]) == 1
+        assert "stale" in capsys.readouterr().out
+        # --write-baseline drops the stale entry again.
+        assert main(["src", "--write-baseline"]) == 0
+        assert main(["src"]) == 0
+
+    def test_explicit_baseline_flag(self, dirty_tree, capsys):
+        assert main(["src", "--baseline", "b.json", "--write-baseline"]) == 0
+        assert not Path("lint_baseline.json").exists()
+        assert main(["src", "--baseline", "b.json"]) == 0
+        capsys.readouterr()
+
+    def test_corrupt_baseline_exits_two(self, dirty_tree, capsys):
+        Path("b.json").write_text('{"version": 99}', encoding="utf-8")
+        assert main(["src", "--baseline", "b.json"]) == 2
+        assert "version 99" in capsys.readouterr().err
+
+    def test_list_rules_prints_catalog(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("DET001", "DET002", "DET003", "DET004",
+                     "WAL001", "WAL002", "ARCH001", "ARCH002"):
+            assert code in out
+
+
+class TestJsonReport:
+    def _payload(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        write(tmp_path, "src/repro/core/x.py",
+              "import random, time\n"
+              "a = random.random()\n"
+              "b = time.time()  # repro: allow[DET002]\n")
+        assert main(["src", "--format", "json",
+                     "--out", "report.json"]) == 1
+        stdout_payload = json.loads(capsys.readouterr().out)
+        file_payload = json.loads(Path("report.json").read_text("utf-8"))
+        assert stdout_payload == file_payload
+        return stdout_payload
+
+    def test_schema(self, tmp_path, monkeypatch, capsys):
+        payload = self._payload(tmp_path, monkeypatch, capsys)
+        assert payload["schema_version"] == JSON_SCHEMA_VERSION
+        assert payload["files_scanned"] == 1
+        assert set(payload["counts"]) == {
+            "new", "baselined", "suppressed", "stale_baseline"}
+        assert payload["counts"]["new"] == 1
+        assert payload["counts"]["suppressed"] == 1
+        assert payload["by_code"] == {"DET001": 1}
+        assert "DET001" in payload["rules"] and len(payload["rules"]) >= 8
+        (finding,) = payload["findings"]
+        assert set(finding) == {
+            "path", "line", "col", "code", "message", "baselined"}
+        assert finding["code"] == "DET001" and finding["baselined"] is False
+        (suppressed,) = payload["suppressed"]
+        assert suppressed["code"] == "DET002"
+        assert payload["stale_baseline"] == []
+
+
+class TestFindingBasics:
+    def test_format_and_ordering(self):
+        a = Finding(path="a.py", line=3, col=1, code="DET001", message="m")
+        b = Finding(path="a.py", line=9, col=1, code="DET001", message="m")
+        assert a.format() == "a.py:3:1: DET001 m"
+        assert a.baseline_key == "a.py::DET001::m"
+        assert sorted([b, a]) == [a, b]

@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.llm.icl import (
     DISTRACT_GATE,
@@ -11,7 +11,7 @@ from repro.llm.icl import (
     REL_GATE,
     example_utility,
 )
-from repro.llm.model import ModelSpec, SimulatedLLM
+from repro.llm.model import ModelSpec
 from repro.llm.quality import QualityModel
 from repro.llm.zoo import MODEL_PAIRS, MODEL_SPECS, get_model, get_model_pair
 

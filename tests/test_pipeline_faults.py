@@ -139,7 +139,7 @@ class TestClusterBatchedPathUnderFailures:
         assert chaos.route_failures == 3
         assert service.stats.bypasses == 3
         by_id = {r.request_id: r for r in report.records}
-        for request_id in doomed:
+        for request_id in sorted(doomed):
             assert by_id[request_id].model_name == service.large_name
             assert by_id[request_id].n_examples == 0
 

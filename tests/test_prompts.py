@@ -1,6 +1,5 @@
 """Unit tests for the appendix-A.1 prompt templates."""
 
-import pytest
 
 from repro.llm.prompts import (
     AUTORATER_SYSTEM_PROMPT,

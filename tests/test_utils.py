@@ -1,6 +1,5 @@
 """Unit tests for repro.utils (rng, clock, tokens)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 

@@ -7,7 +7,7 @@ from hypothesis import given, settings, strategies as st
 from repro.embedding.similarity import cosine_similarity, cosine_similarity_matrix
 from repro.workload.datasets import DATASET_PROFILES, SyntheticDataset, get_profile
 from repro.workload.feedback import FeedbackSimulator
-from repro.workload.request import Request, TaskType
+from repro.workload.request import TaskType
 from repro.workload.topics import TopicModel
 from repro.workload.trace import (
     ArrivalTrace,
