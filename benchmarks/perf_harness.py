@@ -19,17 +19,26 @@ exercise per request, at three levels:
 * **persistence** — durable-state cost: full-service snapshot save and
   restore throughput (examples/sec and bytes) at the standard serve-bench
   bank size, so checkpointing cost rides the same recorded trajectory as
-  the serve hot path (see ``docs/PERSISTENCE.md``).
+  the serve hot path (see ``docs/PERSISTENCE.md``);
+* **memory** — resident bytes per vector for the flat storage and the IVF
+  cluster blocks (measured via ``nbytes``, not estimated), recorded per
+  pool size so a dtype regression (float32 silently upcast back to
+  float64) doubles a gated number instead of hiding;
+* **scale** (``REPRO_PERF_FULL=1`` or ``--full``) — the N=1M story: build,
+  two-pass int8+rescore search vs exact flat recall@5, and steady-state
+  incremental-retrain amortization per maintenance tick.
 
 Results are written to ``BENCH_serve_hotpath.json`` so every future perf PR
 is measured against a recorded trajectory, and ``--check`` gates CI against
-``benchmarks/BENCH_serve_hotpath_baseline.json`` (>30% serve-throughput
-regressions fail).
+``benchmarks/BENCH_serve_hotpath_baseline.json`` (>30% regressions fail on
+serve/search/runtime throughput, snapshot save/restore throughput, and
+retrain time).
 
 Run from the repo root::
 
     PYTHONPATH=src python benchmarks/perf_harness.py \
-        --sizes 1000 10000 --out BENCH_serve_hotpath.json \
+        --sizes 1000 10000 --serve-banks 800 \
+        --out BENCH_serve_hotpath.json \
         --check benchmarks/BENCH_serve_hotpath_baseline.json
 """
 
@@ -37,6 +46,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import time
 from pathlib import Path
@@ -49,7 +59,7 @@ from repro.vectorstore.ivf import IVFIndex
 DIM = 64
 TOP_K = 5
 N_TOPICS = 50
-SCHEMA = "serve_hotpath/v1"
+SCHEMA = "serve_hotpath/v2"
 
 
 def clustered_vectors(n: int, dim: int = DIM, n_topics: int = N_TOPICS,
@@ -192,12 +202,23 @@ def bench_serve(bank: int = 800, n_requests: int = 300, warmup: int = 50,
     for request in requests[warmup:]:
         service.serve(request, load=0.3)
     elapsed = time.perf_counter() - start
+
+    # Index-layer latency on the same warmed cache: end-to-end serve pays
+    # for routing, simulated generation and learning updates on top of the
+    # index, so the search number is reported alongside, not inferred.
+    embeddings = np.stack([
+        service.embedder.embed(r.text, r.latent) for r in requests[:32]
+    ])
+    t_search = _best_of(lambda: [
+        service.cache.search(e, 12) for e in embeddings
+    ])
     return {
         "bank_examples": seeded,            # pool size as configured/seeded
         "final_examples": len(service.cache),  # after online admissions
         "n_requests": n_requests,
         "us_per_request": elapsed / n_requests * 1e6,
         "qps": n_requests / elapsed,
+        "index_search_us_per_query": t_search / 32 * 1e6,
     }
 
 
@@ -281,6 +302,28 @@ def bench_persistence(bank: int = 800, n_requests: int = 100,
         t_save = _best_of(lambda: service.save(path))
         t_restore = _best_of(lambda: ICCacheService.restore(path))
         examples = len(service.cache)
+
+        # Index-layer restore through the mmap sidecar, isolated: parse the
+        # manifest once, then time only resolving the index section and
+        # rebuilding the IVF structure over copy-on-write views.  End-to-end
+        # restore on top of this pays JSON parsing and per-example Python
+        # object construction, which dominate at every bank size.
+        from repro.persistence.snapshot import SidecarReader, _decode
+        from repro.vectorstore.sharded import ShardedIndex as _Sharded
+
+        manifest = json.loads(path.read_text(encoding="utf-8"))
+        raw_index = manifest["cache"]["index"]
+        sharded = bool(manifest["cache"]["sharded"])
+
+        def restore_index():
+            reader = SidecarReader(
+                path.parent / manifest["sidecar"]
+            ) if manifest.get("sidecar") else None
+            state = _decode(raw_index, reader)
+            cls = _Sharded if sharded else IVFIndex
+            return cls.from_state(state)
+
+        t_index = _best_of(restore_index)
         return {
             "examples": examples,
             "snapshot_bytes": path.stat().st_size,
@@ -288,12 +331,131 @@ def bench_persistence(bank: int = 800, n_requests: int = 100,
             "restore_s": t_restore,
             "save_examples_per_s": examples / t_save,
             "restore_examples_per_s": examples / t_restore,
+            "index_restore_s": t_index,
+            "index_restore_vectors_per_s": examples / t_index,
         }
 
 
-def run(sizes: list[int], serve_bank: int = 800,
-        out_path: str | Path | None = None) -> dict:
+def bench_memory(index: IVFIndex) -> dict:
+    """Resident bytes per vector, measured via ``nbytes`` on live storage.
+
+    ``flat_bytes_per_vector`` counts the flat matrix (capacity included, as
+    actually allocated); ``block_bytes_per_vector`` counts every cluster
+    block the same way.  With float32 storage both sit near 4*dim plus
+    doubling-growth slack; a silent float64 upcast doubles them.
+    """
+    n = max(1, len(index))
+    flat_bytes = index._flat.nbytes
+    block_bytes = sum(block.nbytes for block in index._blocks)
+    return {
+        "n": len(index),
+        "dtype": str(np.dtype(index._flat.matrix.dtype)),
+        "flat_bytes": flat_bytes,
+        "block_bytes": block_bytes,
+        "flat_bytes_per_vector": flat_bytes / n,
+        "block_bytes_per_vector": block_bytes / n,
+        "total_index_bytes": index.nbytes,
+    }
+
+
+def _scale_vectors(n: int, seed: int = 0, chunk: int = 100_000):
+    """Yield (start, float32 chunk) batches of topic-clustered unit vectors.
+
+    Chunked so an N=1M pool never materializes a float64 (n, dim) array
+    (that alone would be 512 MB); each chunk is generated, normalized, and
+    narrowed to float32 before the next one exists.
+    """
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(size=(N_TOPICS, DIM))
+    centers /= np.linalg.norm(centers, axis=1, keepdims=True)
+    for start in range(0, n, chunk):
+        m = min(chunk, n - start)
+        vecs = centers[rng.integers(0, N_TOPICS, size=m)]
+        vecs = vecs + rng.normal(0.0, 0.15, size=(m, DIM))
+        vecs /= np.linalg.norm(vecs, axis=1, keepdims=True)
+        yield start, vecs.astype(np.float32)
+
+
+def bench_scale(n: int = 1_000_000, seed: int = 0, n_queries: int = 200,
+                recall_queries: int = 50, maintenance_ticks: int = 5) -> dict:
+    """The N=1M story: build, two-pass search, retrain amortization.
+
+    Builds one IVF index with the large-N configuration (two-pass int8
+    coarse scoring on, incremental retrain on — both size-gated exactly as
+    the service config would gate them), then measures:
+
+    * search latency with two-pass ON and (for the same queries) OFF;
+    * recall@5 of the two-pass path against exact flat search;
+    * steady-state maintenance: ``maintenance_ticks`` forced retrains with
+      1% churn between them — at this size every one takes the incremental
+      split/merge path, and the mean is the amortized per-tick cost the
+      acceptance gate reads.
+    """
+    index = IVFIndex(dim=DIM, nprobe=8, min_train_size=64, seed=seed,
+                     two_pass_min_n=100_000, rescore_depth=64,
+                     incremental_min_n=10_000)
+    start = time.perf_counter()
+    for base, chunk in _scale_vectors(n, seed=seed):
+        for i in range(chunk.shape[0]):
+            index.add(base + i, chunk[i])
+    index.search(index.get_vector(0), 1)  # settle any pending retrain
+    build_s = time.perf_counter() - start
+
+    queries = clustered_vectors(n_queries, seed=seed + 1)
+    assert index.two_pass_active
+    t_two_pass = _best_of(lambda: [index.search(q, TOP_K) for q in queries])
+    index.two_pass_min_n = None  # same index, exact single-pass
+    t_single = _best_of(lambda: [index.search(q, TOP_K) for q in queries])
+    index.two_pass_min_n = 100_000
+
+    # Exact flat baseline for recall@5, on a subsample (flat search at N=1M
+    # is ~100 ms/query; 50 queries keep the nightly run bounded).
+    flat = FlatIndex(DIM)
+    matrix = index._flat.matrix
+    flat._vectors = np.array(matrix, dtype=np.float32)
+    flat._keys = list(index._flat.keys)
+    flat._key_to_row = {key: row for row, key in enumerate(flat._keys)}
+    hits = sum(
+        len({r.key for r in index.search(q, TOP_K)}
+            & {r.key for r in flat.search(q, TOP_K)})
+        for q in queries[:recall_queries]
+    )
+
+    # Steady-state maintenance: churn 1% of the pool, force a retrain, and
+    # time it; repeat.  At this size the retrain is always incremental.
+    churn = max(1, n // 100)
+    spare = clustered_vectors(churn, seed=seed + 2).astype(np.float32)
+    tick_times = []
+    trainings_before = index.trainings
+    for tick in range(maintenance_ticks):
+        for i in range(churn):
+            index.add(("churn", tick, i), spare[i])
+            index.remove(("churn", tick, i))
+        start = time.perf_counter()
+        assert index.retrain()
+        tick_times.append(time.perf_counter() - start)
+    assert index.trainings == trainings_before + maintenance_ticks
+
+    return {
+        "n": n,
+        "k_clusters": index.n_clusters,
+        "nprobe": index.nprobe,
+        "build_s": build_s,
+        "trainings_during_build": trainings_before,
+        "two_pass_us_per_query": t_two_pass / n_queries * 1e6,
+        "single_pass_us_per_query": t_single / n_queries * 1e6,
+        "recall_at_5_vs_flat": hits / (recall_queries * TOP_K),
+        "retrain_ticks": maintenance_ticks,
+        "retrain_s_per_tick": sum(tick_times) / len(tick_times),
+        "retrain_s_worst_tick": max(tick_times),
+        "memory": bench_memory(index),
+    }
+
+
+def run(sizes: list[int], serve_banks: list[int] | None = None,
+        out_path: str | Path | None = None, full: bool = False) -> dict:
     """Run the full harness and (optionally) write the BENCH artifact."""
+    serve_banks = serve_banks if serve_banks else [800]
     results = {
         "schema": SCHEMA,
         "created_unix": time.time(),
@@ -304,16 +466,21 @@ def run(sizes: list[int], serve_bank: int = 800,
         },
         "search": {},
         "churn": {},
-        "serve": bench_serve(bank=serve_bank),
+        "memory": {},
+        "serve": {str(bank): bench_serve(bank=bank) for bank in serve_banks},
         "runtime": bench_runtime(),
-        "persistence": bench_persistence(bank=serve_bank),
+        "persistence": bench_persistence(bank=min(serve_banks)),
     }
     for n in sizes:
-        # One build (and one K-Means train) per size, shared by both benches;
-        # bench_churn runs last because it retrains the index it is handed.
+        # One build (and one K-Means train) per size, shared by the benches;
+        # memory reads before churn (which retrains the index it is handed),
+        # so the numbers describe the layout search just ran over.
         built = _built_index(n)
         results["search"][str(n)] = bench_search(n, index=built[0])
+        results["memory"][str(n)] = bench_memory(built[0])
         results["churn"][str(n)] = bench_churn(n, built=built)
+    if full:
+        results["scale"] = bench_scale()
     if out_path is not None:
         Path(out_path).write_text(json.dumps(results, indent=2) + "\n",
                                   encoding="utf-8")
@@ -329,14 +496,20 @@ def check_against_baseline(results: dict, baseline: dict,
     """
     failures = []
     floor = 1.0 - max_regression
+    ceiling = 1.0 + max_regression
 
-    base_qps = baseline.get("serve", {}).get("qps")
-    if base_qps:
-        got = results["serve"]["qps"]
-        if got < floor * base_qps:
+    base_serve = baseline.get("serve", {})
+    if "qps" in base_serve:  # pre-v2 baseline: one unkeyed serve row
+        base_serve = {"800": base_serve}
+    for bank, base in base_serve.items():
+        current = results.get("serve", {}).get(bank)
+        if current is None or not base.get("qps"):
+            continue
+        if current["qps"] < floor * base["qps"]:
             failures.append(
-                f"serve throughput regressed: {got:.0f} qps < "
-                f"{floor:.0%} of baseline {base_qps:.0f} qps"
+                f"serve throughput at bank={bank} regressed: "
+                f"{current['qps']:.0f} qps < {floor:.0%} of baseline "
+                f"{base['qps']:.0f} qps"
             )
     for n, base in baseline.get("search", {}).items():
         current = results.get("search", {}).get(n)
@@ -371,6 +544,35 @@ def check_against_baseline(results: dict, baseline: dict,
                 f"persistence {label} regressed: {got:.0f} ex/s < "
                 f"{floor:.0%} of baseline {base_val:.0f} ex/s"
             )
+    # Retrain amortization: a *time*, so regression means slower, not lower.
+    for n, base in baseline.get("churn", {}).items():
+        current = results.get("churn", {}).get(n)
+        base_val = base.get("retrain_s")
+        if current is None or not base_val:
+            continue
+        if current["retrain_s"] > ceiling * base_val:
+            failures.append(
+                f"retrain at N={n} regressed: {current['retrain_s']:.3f} s > "
+                f"{ceiling:.0%} of baseline {base_val:.3f} s"
+            )
+    base_scale = baseline.get("scale")
+    if base_scale and results.get("scale"):
+        got_scale = results["scale"]
+        base_val = base_scale.get("retrain_s_per_tick")
+        if base_val and got_scale["retrain_s_per_tick"] > ceiling * base_val:
+            failures.append(
+                f"N=1M retrain amortization regressed: "
+                f"{got_scale['retrain_s_per_tick']:.3f} s/tick > "
+                f"{ceiling:.0%} of baseline {base_val:.3f} s/tick"
+            )
+        base_val = base_scale.get("two_pass_us_per_query")
+        if base_val and got_scale["two_pass_us_per_query"] \
+                > ceiling * base_val:
+            failures.append(
+                f"N=1M two-pass search regressed: "
+                f"{got_scale['two_pass_us_per_query']:.0f} us/q > "
+                f"{ceiling:.0%} of baseline {base_val:.0f} us/q"
+            )
     return failures
 
 
@@ -403,8 +605,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--sizes", type=int, nargs="+",
                         default=[1_000, 10_000, 50_000],
                         help="example-pool sizes N for the index benches")
-    parser.add_argument("--serve-bank", type=int, default=800,
-                        help="seeded example-bank size for the serve bench")
+    parser.add_argument("--serve-banks", type=int, nargs="+",
+                        default=[800, 50_000],
+                        help="seeded example-bank sizes for the serve bench")
+    parser.add_argument("--full", action="store_true",
+                        help="also run the N=1M scale bench "
+                             "(REPRO_PERF_FULL=1 implies this)")
     parser.add_argument("--out", default="BENCH_serve_hotpath.json",
                         help="output artifact path")
     parser.add_argument("--check", metavar="BASELINE",
@@ -412,20 +618,29 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-regression", type=float, default=0.30,
                         help="allowed fractional throughput drop vs baseline")
     args = parser.parse_args(argv)
+    full = args.full or os.environ.get("REPRO_PERF_FULL") == "1"
 
-    results = run(args.sizes, serve_bank=args.serve_bank, out_path=args.out)
+    results = run(args.sizes, serve_banks=args.serve_banks,
+                  out_path=args.out, full=full)
     for n, row in results["search"].items():
         print(f"search  N={n:>6}: {row['vectorized_us_per_query']:8.1f} us/q "
               f"({row['qps']:8.0f} qps), {row['speedup_vs_loop']:5.1f}x vs "
               f"loop, recall@5={row['recall_at_5_vs_flat']:.3f}")
+    for n, row in results["memory"].items():
+        print(f"memory  N={n:>6}: {row['dtype']}, flat "
+              f"{row['flat_bytes_per_vector']:6.1f} B/vec, blocks "
+              f"{row['block_bytes_per_vector']:6.1f} B/vec, total "
+              f"{row['total_index_bytes'] / 2**20:7.1f} MiB")
     for n, row in results["churn"].items():
         print(f"churn   N={n:>6}: build {row['build_s']:6.2f}s "
               f"({row['trainings_during_build']} trains), add/remove "
               f"{row['add_remove_us_per_op']:6.1f} us/op, retrain "
               f"{row['retrain_s']:6.2f}s")
-    serve = results["serve"]
-    print(f"serve   bank={serve['bank_examples']}: "
-          f"{serve['us_per_request']:.0f} us/request ({serve['qps']:.0f} qps)")
+    for bank, serve in results["serve"].items():
+        print(f"serve   bank={serve['bank_examples']}: "
+              f"{serve['us_per_request']:.0f} us/request "
+              f"({serve['qps']:.0f} qps), index search "
+              f"{serve['index_search_us_per_query']:.0f} us/q")
     runtime = results["runtime"]
     print(f"runtime events: {runtime['events_per_s']:,.0f}/s "
           f"({runtime['n_events']} no-op dispatches), sim serving: "
@@ -436,7 +651,17 @@ def main(argv: list[str] | None = None) -> int:
           f"save {persist['save_s'] * 1e3:.0f} ms "
           f"({persist['save_examples_per_s']:,.0f} ex/s), restore "
           f"{persist['restore_s'] * 1e3:.0f} ms "
-          f"({persist['restore_examples_per_s']:,.0f} ex/s)")
+          f"({persist['restore_examples_per_s']:,.0f} ex/s), index via "
+          f"mmap {persist['index_restore_vectors_per_s']:,.0f} vec/s")
+    scale = results.get("scale")
+    if scale:
+        print(f"scale   N={scale['n']:,}: build {scale['build_s']:.0f}s "
+              f"({scale['k_clusters']} clusters), two-pass "
+              f"{scale['two_pass_us_per_query']:.0f} us/q vs single "
+              f"{scale['single_pass_us_per_query']:.0f} us/q, "
+              f"recall@5={scale['recall_at_5_vs_flat']:.3f}, retrain "
+              f"{scale['retrain_s_per_tick'] * 1e3:.0f} ms/tick "
+              f"(worst {scale['retrain_s_worst_tick'] * 1e3:.0f} ms)")
     print(f"wrote {args.out}")
 
     if args.check:

@@ -2,8 +2,9 @@
 
 ``run_baseline_gate`` is driven with hand-built results/baseline dicts so
 the tests exercise the gate logic itself — the missing-baseline warning
-(which must be loud, not a silent pass), the pass path, and the
-regression-failure path — in milliseconds.
+(which must be loud, not a silent pass), the pass path, and every
+regression-failure path (serve, search, runtime, persistence restore,
+retrain amortization, the N=1M scale rows) — in milliseconds.
 """
 
 from __future__ import annotations
@@ -13,13 +14,18 @@ import json
 import perf_harness
 
 
-def _results(serve_qps: float = 1000.0, search_qps: float = 50_000.0) -> dict:
+def _results(serve_qps: float = 1000.0, search_qps: float = 50_000.0,
+             restore_per_s: float = 1e4, retrain_s: float = 1.0,
+             tick_s: float = 0.05) -> dict:
     return {
-        "serve": {"qps": serve_qps},
+        "serve": {"800": {"qps": serve_qps}},
         "search": {"1000": {"qps": search_qps}},
         "runtime": {"events_per_s": 1e6, "sim_requests_per_s": 1e4},
         "persistence": {"save_examples_per_s": 1e4,
-                        "restore_examples_per_s": 1e4},
+                        "restore_examples_per_s": restore_per_s},
+        "churn": {"1000": {"retrain_s": retrain_s}},
+        "scale": {"retrain_s_per_tick": tick_s,
+                  "two_pass_us_per_query": 100.0},
     }
 
 
@@ -59,7 +65,7 @@ class TestPresentBaseline:
             _results(serve_qps=500.0), baseline)
         out = capsys.readouterr().out
         assert code == 1
-        assert "REGRESSION: serve throughput regressed" in out
+        assert "REGRESSION: serve throughput at bank=800 regressed" in out
 
     def test_max_regression_is_honoured(self, tmp_path):
         baseline = tmp_path / "baseline.json"
@@ -70,3 +76,53 @@ class TestPresentBaseline:
             dropped, baseline, max_regression=0.30) == 0
         assert perf_harness.run_baseline_gate(
             dropped, baseline, max_regression=0.10) == 1
+
+    def test_pre_v2_baseline_serve_row_still_gates(self, tmp_path, capsys):
+        """A pre-v2 baseline has one unkeyed serve row; it maps to the
+        default 800-example bank so old baselines keep gating."""
+        baseline = tmp_path / "baseline.json"
+        old = _results(serve_qps=1000.0)
+        old["serve"] = {"qps": 1000.0}
+        baseline.write_text(json.dumps(old), encoding="utf-8")
+        code = perf_harness.run_baseline_gate(
+            _results(serve_qps=500.0), baseline)
+        assert code == 1
+        assert "bank=800" in capsys.readouterr().out
+
+    def test_fails_on_restore_throughput_regression(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(_results(restore_per_s=1e4)),
+                            encoding="utf-8")
+        code = perf_harness.run_baseline_gate(
+            _results(restore_per_s=5e3), baseline)
+        assert code == 1
+        assert "snapshot restore" in capsys.readouterr().out
+
+    def test_fails_when_retrain_gets_slower(self, tmp_path, capsys):
+        """Times gate in the other direction: bigger is the regression."""
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(_results(retrain_s=1.0)),
+                            encoding="utf-8")
+        code = perf_harness.run_baseline_gate(
+            _results(retrain_s=2.0), baseline)
+        assert code == 1
+        assert "retrain at N=1000" in capsys.readouterr().out
+
+    def test_fails_on_scale_tick_amortization_regression(self, tmp_path,
+                                                         capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(_results(tick_s=0.05)),
+                            encoding="utf-8")
+        code = perf_harness.run_baseline_gate(
+            _results(tick_s=0.20), baseline)
+        assert code == 1
+        assert "N=1M retrain amortization" in capsys.readouterr().out
+
+    def test_scale_rows_skipped_when_absent(self, tmp_path):
+        """A smoke run (no --full) has no scale section; the baseline's
+        scale rows must not fail the gate against it."""
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(_results()), encoding="utf-8")
+        smoke = _results()
+        del smoke["scale"]
+        assert perf_harness.run_baseline_gate(smoke, baseline) == 0

@@ -36,7 +36,7 @@ SIZES = [1_000, 10_000] + \
 
 def test_perf_serve_hotpath(benchmark):
     results = run_once(
-        benchmark, lambda: run(SIZES, serve_bank=800, out_path=BENCH_PATH)
+        benchmark, lambda: run(SIZES, serve_banks=[800], out_path=BENCH_PATH)
     )
 
     print_table(
@@ -49,9 +49,10 @@ def test_perf_serve_hotpath(benchmark):
           results["churn"][n]["retrain_s"]]
          for n, s in results["search"].items()],
     )
-    serve = results["serve"]
+    serve = results["serve"]["800"]
     print(f"   end-to-end serve: {serve['us_per_request']:.0f} us/request "
-          f"({serve['qps']:.0f} qps, bank={serve['bank_examples']})")
+          f"({serve['qps']:.0f} qps, bank={serve['bank_examples']}, "
+          f"index search {serve['index_search_us_per_query']:.0f} us/q)")
 
     # The tentpole claim: contiguous blocks beat the per-candidate loop.
     speedup = results["search"]["10000"]["speedup_vs_loop"]

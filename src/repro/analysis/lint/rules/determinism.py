@@ -275,6 +275,52 @@ class SetIterationRule(Rule):
 
 
 @register
+class ImplicitFloat64Rule(Rule):
+    code = "DET005"
+    name = "implicit-float64-array"
+    summary = ("dtype-less array constructor in repro.vectorstore.*; "
+               "index storage is float32 — pin dtype explicitly")
+
+    #: Constructors that silently default to float64.  ``asarray`` /
+    #: ``ascontiguousarray`` are exempt: they preserve their input's dtype,
+    #: which is exactly the passthrough behaviour the storage layer wants.
+    _CONSTRUCTORS = frozenset({
+        "numpy.array", "numpy.zeros", "numpy.ones", "numpy.empty",
+        "numpy.full",
+    })
+
+    #: 1-based position at which each constructor accepts ``dtype``
+    #: positionally (``np.zeros(shape, np.float32)`` counts as explicit).
+    _DTYPE_POSITION = {
+        "numpy.array": 2, "numpy.zeros": 2, "numpy.ones": 2,
+        "numpy.empty": 2, "numpy.full": 3,
+    }
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        module = ctx.module
+        if module is None or not (
+                module == "repro.vectorstore"
+                or module.startswith("repro.vectorstore.")):
+            return
+        imports = ImportMap(ctx)
+        for node in ctx.nodes(ast.Call):
+            target = imports.resolve(node.func)
+            if target not in self._CONSTRUCTORS:
+                continue
+            if any(kw.arg == "dtype" for kw in node.keywords):
+                continue
+            if len(node.args) >= self._DTYPE_POSITION[target]:
+                continue  # dtype passed positionally
+            short = target.replace("numpy.", "np.")
+            yield ctx.finding(
+                node, self.code,
+                f"{short}(...) without dtype= creates float64 in the "
+                "float32 storage layer; pin dtype explicitly "
+                "(STORAGE_DTYPE for vectors, or the intended width)",
+            )
+
+
+@register
 class DictMutationDuringIterationRule(Rule):
     code = "DET004"
     name = "dict-mutation-in-loop"

@@ -21,6 +21,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.core.config import IndexConfig
 from repro.core.example import Example
 from repro.vectorstore.ivf import IVFIndex
 from repro.vectorstore.sharded import ShardedIndex
@@ -36,11 +37,21 @@ class ExampleCache:
     """
 
     def __init__(self, dim: int, nprobe: int = 2, seed: int = 0,
-                 index: IVFIndex | ShardedIndex | None = None) -> None:
+                 index: IVFIndex | ShardedIndex | None = None,
+                 index_config: "IndexConfig | None" = None) -> None:
         self._examples: dict[str, Example] = {}
         # `is None` matters: a freshly built index is empty, hence falsy.
-        self._index = index if index is not None \
-            else IVFIndex(dim=dim, nprobe=nprobe, seed=seed)
+        if index is not None:
+            self._index = index
+        elif index_config is not None:
+            self._index = IVFIndex(
+                dim=dim, nprobe=index_config.nprobe, seed=seed,
+                two_pass_min_n=index_config.two_pass_min_n,
+                rescore_depth=index_config.rescore_depth,
+                incremental_min_n=index_config.incremental_min_n,
+            )
+        else:
+            self._index = IVFIndex(dim=dim, nprobe=nprobe, seed=seed)
         # Running plaintext-byte total, maintained on add/remove so the
         # manager's admission/eviction path reads it in O(1) instead of
         # summing the pool.  Per-example sizes are recorded at add time so
@@ -70,6 +81,11 @@ class ExampleCache:
     def total_bytes(self) -> int:
         """Plaintext bytes held, as a maintained O(1) running counter."""
         return self._total_bytes
+
+    @property
+    def index_nbytes(self) -> int:
+        """Resident bytes of the index's dense vector storage (via nbytes)."""
+        return self._index.nbytes
 
     @property
     def journal(self):
@@ -208,11 +224,16 @@ class ShardedExampleCache(ExampleCache):
 
     def __init__(self, dim: int, n_shards: int = 4, nprobe: int = 2,
                  seed: int = 0,
-                 shard_fn: Callable[[object], int] | None = None) -> None:
+                 shard_fn: Callable[[object], int] | None = None,
+                 index_config: IndexConfig | None = None) -> None:
+        cfg = index_config or IndexConfig(nprobe=nprobe)
         super().__init__(
             dim,
-            index=ShardedIndex(dim=dim, n_shards=n_shards, nprobe=nprobe,
-                               seed=seed, shard_fn=shard_fn),
+            index=ShardedIndex(dim=dim, n_shards=n_shards, nprobe=cfg.nprobe,
+                               seed=seed, shard_fn=shard_fn,
+                               two_pass_min_n=cfg.two_pass_min_n,
+                               rescore_depth=cfg.rescore_depth,
+                               incremental_min_n=cfg.incremental_min_n),
         )
 
     @property

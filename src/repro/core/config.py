@@ -74,6 +74,33 @@ class ManagerConfig:
 
 
 @dataclass
+class IndexConfig:
+    """IVF index scale knobs (vectorstore memory/speed overhaul).
+
+    Defaults leave small-pool behavior exactly as before the overhaul:
+    two-pass search is fully off (``two_pass_min_n=None``) and incremental
+    retrain only engages above pools far larger than the golden scenarios
+    build (``incremental_min_n=10_000``) — below that, staleness still
+    triggers a global K-Means.
+    """
+
+    nprobe: int = 2                   # clusters probed per query
+    two_pass_min_n: int | None = None # int8 coarse+rescore above this N (None = off)
+    rescore_depth: int = 64           # exact-rescore candidates (C) in two-pass
+    incremental_min_n: int = 10_000   # split/merge retrain above this N
+
+    def __post_init__(self) -> None:
+        if self.nprobe < 1:
+            raise ValueError("nprobe must be >= 1")
+        if self.two_pass_min_n is not None and self.two_pass_min_n < 1:
+            raise ValueError("two_pass_min_n must be None or >= 1")
+        if self.rescore_depth < 1:
+            raise ValueError("rescore_depth must be >= 1")
+        if self.incremental_min_n < 1:
+            raise ValueError("incremental_min_n must be >= 1")
+
+
+@dataclass
 class ICCacheConfig:
     """Top-level configuration for :class:`repro.core.service.ICCacheService`."""
 
@@ -88,6 +115,7 @@ class ICCacheConfig:
     selector: SelectorConfig = field(default_factory=SelectorConfig)
     router: RouterConfig = field(default_factory=RouterConfig)
     manager: ManagerConfig = field(default_factory=ManagerConfig)
+    index: IndexConfig = field(default_factory=IndexConfig)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.feedback_sample_rate <= 1.0:

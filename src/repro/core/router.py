@@ -58,23 +58,41 @@ class _LinearTSArm:
         self._moment = np.zeros(dim)
         self._noise_var = noise_var
         self.pulls = 0
+        # Posterior mean/covariance only change on ``update``, yet every
+        # routing decision needs both (mean score + Thompson sample).  Cache
+        # the solve/inv/cholesky between updates; the cached arrays are the
+        # exact values the uncached code computed, so sampling streams are
+        # unchanged bit for bit.
+        self._posterior_memo: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    def _posterior(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if self._posterior_memo is None:
+            mean = np.linalg.solve(self._precision, self._moment)
+            cov = self._noise_var * np.linalg.inv(self._precision)
+            self._posterior_memo = (mean, cov, np.linalg.cholesky(cov))
+        return self._posterior_memo
 
     def mean_weights(self) -> np.ndarray:
-        return np.linalg.solve(self._precision, self._moment)
+        return self._posterior()[0].copy()
 
     def mean_score(self, x: np.ndarray) -> float:
-        return float(x @ self.mean_weights())
+        return float(x @ self._posterior()[0])
 
     def sampled_score(self, x: np.ndarray, rng: np.random.Generator) -> float:
-        cov = self._noise_var * np.linalg.inv(self._precision)
-        weights = rng.multivariate_normal(self.mean_weights(), cov,
-                                          method="cholesky")
+        # Identical draw to ``rng.multivariate_normal(mean, cov,
+        # method="cholesky")``: that path factorizes cov afresh per call and
+        # computes mean + standard_normal(dim) @ L.T — here L is cached with
+        # the posterior, and the standard-normal consumption (hence the
+        # stream) and the float results are bit-equal.
+        mean, _, chol = self._posterior()
+        weights = mean + rng.standard_normal(mean.shape[0]) @ chol.T
         return float(x @ weights)
 
     def update(self, x: np.ndarray, reward: float) -> None:
         self._precision += np.outer(x, x)
         self._moment += reward * x
         self.pulls += 1
+        self._posterior_memo = None
 
 
 @dataclass(frozen=True)

@@ -19,7 +19,18 @@ from repro.core.cache import ExampleCache
 from repro.core.config import SelectorConfig
 from repro.core.example import Example
 from repro.core.proxy import HelpfulnessProxy
-from repro.embedding.similarity import cosine_similarity
+
+
+def _pair_similarity(a: Example, b: Example) -> float:
+    """:func:`cosine_similarity` of two examples' embeddings, bit-identical,
+    but with each norm memoized on the example (the diversity loop compares
+    every viable candidate against every chosen one, re-norming the same
+    embeddings dozens of times per request otherwise)."""
+    denom = float(a.embedding_norm * b.embedding_norm)
+    if denom < 1e-12:
+        return 0.0
+    sim = float(np.dot(a.embedding, b.embedding) / denom)
+    return max(-1.0, min(1.0, sim))
 
 
 @dataclass
@@ -128,7 +139,7 @@ class ExampleSelector:
             # Diversity: discount utility by similarity to already-chosen
             # examples; a redundant near-duplicate adds tokens, not signal.
             redundancy = max(
-                (cosine_similarity(candidate.example.embedding, c.example.embedding)
+                (_pair_similarity(candidate.example, c.example)
                  for c in chosen),
                 default=0.0,
             )

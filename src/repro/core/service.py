@@ -108,9 +108,11 @@ class ICCacheService:
             self.cache = ShardedExampleCache(
                 dim=self.config.embedding_dim,
                 n_shards=self.config.cache_shards, seed=seed,
+                index_config=self.config.index,
             )
         else:
-            self.cache = ExampleCache(dim=self.config.embedding_dim, seed=seed)
+            self.cache = ExampleCache(dim=self.config.embedding_dim, seed=seed,
+                                      index_config=self.config.index)
         self.proxy = HelpfulnessProxy()
         self.selector = ExampleSelector(self.cache, self.proxy, self.config.selector)
 

@@ -103,13 +103,25 @@ class ICLBoostModel:
         positive_sum = 0.0
         distraction = 0.0
         best_teacher = 0.0
+        # Inlined :func:`example_utility` with the request-latent norm hoisted
+        # out of the loop and one cosine per example instead of two — the
+        # arithmetic (and every float result) is unchanged.
+        q = np.asarray(request_latent, dtype=float)
+        qnorm = np.linalg.norm(q)
         for example in examples:
-            utility = example_utility(request_latent, example, base_quality)
-            if utility < 0:
-                distraction += -utility
+            denom = float(qnorm * np.linalg.norm(example.latent))
+            if denom < 1e-12:
+                relevance = 0.0
             else:
-                positive_sum += utility
-                relevance = cosine_similarity(request_latent, example.latent)
+                relevance = float(np.dot(q, example.latent) / denom)
+                relevance = max(-1.0, min(1.0, relevance))
+            if relevance < DISTRACT_GATE:
+                distraction += DISTRACTION_PENALTY
+            else:
+                gate = _smoothstep(
+                    (relevance - REL_GATE) / (REL_FULL - REL_GATE)
+                )
+                positive_sum += gate * max(0.0, example.quality - base_quality)
                 if relevance >= REL_GATE:
                     best_teacher = max(best_teacher, example.quality)
 

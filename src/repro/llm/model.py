@@ -105,6 +105,11 @@ class SimulatedLLM:
         self.icl_model = icl_model or ICLBoostModel()
         self._rng = make_rng(stable_hash("llm", spec.name, seed))
         self._decode_counts: dict[str, int] = {}
+        # base_quality is a pure function of (model, request id, difficulty)
+        # but gets asked several times per serve (router features, generate,
+        # learning); memoize the float, bounded so a long-lived service
+        # cannot grow it without limit.
+        self._base_quality_memo: dict[tuple[str, float], float] = {}
 
     @property
     def name(self) -> str:
@@ -129,6 +134,10 @@ class SimulatedLLM:
         """
         from repro.llm.quality import APTITUDE_STD
 
+        memo_key = (request.request_id, request.difficulty)
+        memo = self._base_quality_memo.get(memo_key)
+        if memo is not None:
+            return memo
         base = self.quality_model.base_quality(
             self.spec.capability, request.difficulty
         )
@@ -136,7 +145,11 @@ class SimulatedLLM:
             stable_hash("aptitude", self.spec.name, request.request_id)
         )
         base += float(aptitude_rng.normal(0.0, APTITUDE_STD))
-        return float(np.clip(base, 0.0, 1.0))
+        result = float(np.clip(base, 0.0, 1.0))
+        if len(self._base_quality_memo) >= 8192:
+            self._base_quality_memo.clear()
+        self._base_quality_memo[memo_key] = result
+        return result
 
     def prompt_tokens_with_examples(self, request: Request,
                                     examples: list[ExampleView]) -> int:

@@ -54,8 +54,15 @@ def cmd_inspect(args: argparse.Namespace) -> int:
     cache = snapshot["cache"]
     index = cache["index"]
     stats = snapshot["service"]["stats"]
+    sidecar = snapshot.get("sidecar")
+    sidecar_path = Path(args.path).with_name(sidecar) if sidecar else None
     lines = [
         f"format:        {snapshot['format']} v{snapshot['version']}",
+        "sidecar:       " + (
+            f"{sidecar} ({sidecar_path.stat().st_size} bytes, mmap)"
+            if sidecar_path is not None and sidecar_path.exists()
+            else "none (arrays inline)"
+        ),
         f"clock:         {snapshot['clock_now']:.3f} s",
         f"cache:         {len(cache['examples'])} examples, "
         f"{cache['total_bytes']} plaintext bytes, "

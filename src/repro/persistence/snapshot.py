@@ -20,11 +20,19 @@ format must capture more than the obvious data:
   repo's RNG discipline (per-entity seeded streams) makes these few
   numbers sufficient to resume every stochastic sequence mid-stream.
 
-On disk a snapshot is one JSON document.  Arrays are embedded as base64 of
-their raw bytes with dtype/shape/byte-order, so floats round-trip
-bit-exactly; scalar floats rely on JSON's shortest-roundtrip repr, which
-is also exact.  ``version`` gates compatibility: readers reject newer
-majors instead of guessing.
+On disk a snapshot is a JSON manifest plus (since format version 2) a raw
+little-endian **sidecar** file holding every array's bytes at 64-byte-aligned
+offsets; the manifest stores ``{offset, dtype, shape}`` references and the
+sidecar's filename.  Restore opens the sidecar once with ``np.memmap`` in
+copy-on-write mode, so arrays come back as O(1) views — pages fault in on
+first touch and mutations stay private — instead of paying a JSON+base64
+decode per array.  The sidecar is content-hash named
+(``<manifest>.<digest>.bin``), which makes the bin-then-json replace order
+crash-safe: a half-finished write never changes the file the previous
+manifest points at.  Version-1 snapshots (arrays inline as base64 of raw
+bytes) still load; both encodings round-trip bit-exactly.  Scalar floats
+rely on JSON's shortest-roundtrip repr, which is also exact.  ``version``
+gates compatibility: readers reject unknown versions instead of guessing.
 
 Not captured (by design): in-flight requests parked in the pipeline
 (``pipeline._pending``) — a crash loses them, like any serving system;
@@ -36,7 +44,9 @@ be re-supplied to :func:`restore_service`.
 from __future__ import annotations
 
 import base64
+import hashlib
 import json
+import math
 import os
 from dataclasses import asdict
 from pathlib import Path
@@ -48,6 +58,7 @@ from repro.analysis.stats import EMA
 from repro.core.cache import ShardedExampleCache
 from repro.core.config import (
     ICCacheConfig,
+    IndexConfig,
     ManagerConfig,
     RouterConfig,
     SelectorConfig,
@@ -61,7 +72,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core -> persistence)
     from repro.core.service import ICCacheService
 
 SNAPSHOT_FORMAT = "ic-cache-snapshot"
-SNAPSHOT_VERSION = 1
+SNAPSHOT_VERSION = 2
+#: Versions this reader restores: 1 = arrays inline as base64, 2 = arrays
+#: in the mmap sidecar (base64 still accepted anywhere in a v2 document).
+SUPPORTED_VERSIONS = (1, 2)
+
+#: Sidecar array offsets are padded to this alignment so every mapped view
+#: is at least cache-line aligned regardless of the preceding array's size.
+SIDECAR_ALIGN = 64
 
 
 # -- JSON-safe encoding of numpy state ------------------------------------
@@ -87,29 +105,131 @@ def decode_array(record: dict) -> np.ndarray:
     return arr.reshape(record["shape"]).copy()
 
 
-def _encode(obj):
-    """Recursively convert a state structure into JSON-serializable form."""
+class SidecarBuilder:
+    """Accumulates raw little-endian array bytes for the sidecar file.
+
+    Each array lands at a :data:`SIDECAR_ALIGN`-aligned offset; the returned
+    manifest record carries everything needed to map it back
+    (``{offset, dtype, shape}`` under the ``__extarray__`` marker).
+    """
+
+    def __init__(self) -> None:
+        self._chunks: list[bytes] = []
+        self._offset = 0
+        self.count = 0
+
+    @property
+    def data_bytes(self) -> int:
+        return self._offset
+
+    def add(self, array: np.ndarray) -> dict:
+        arr = np.ascontiguousarray(array)
+        if arr.dtype.byteorder == ">":
+            arr = arr.astype(arr.dtype.newbyteorder("<"))
+        self.count += 1
+        pad = (-self._offset) % SIDECAR_ALIGN
+        if pad:
+            self._chunks.append(b"\x00" * pad)
+            self._offset += pad
+        record = {"__extarray__": {
+            "offset": self._offset,
+            "dtype": arr.dtype.str,
+            "shape": list(arr.shape),
+        }}
+        payload = arr.tobytes()
+        self._chunks.append(payload)
+        self._offset += len(payload)
+        return record
+
+    def tobytes(self) -> bytes:
+        return b"".join(self._chunks)
+
+
+class SidecarReader:
+    """Resolves ``__extarray__`` records against a memory-mapped sidecar.
+
+    The file is mapped once, lazily, in ``mode='c'`` (copy-on-write): every
+    resolved array is a view into the mapping, so restore cost is O(number
+    of arrays), pages fault in on first touch, and any later in-place
+    mutation dirties private pages without ever writing the snapshot back.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._buf: np.ndarray | None = None
+
+    def resolve(self, record: dict) -> np.ndarray:
+        dtype = np.dtype(record["dtype"])
+        shape = tuple(int(s) for s in record["shape"])
+        nbytes = dtype.itemsize * math.prod(shape)
+        if nbytes == 0:
+            return np.empty(shape, dtype=dtype)
+        if self._buf is None:
+            if not self.path.exists():
+                raise ValueError(
+                    f"snapshot references sidecar {self.path.name} "
+                    "but the file is missing"
+                )
+            # Downcast the memmap to a plain ndarray view (same COW pages,
+            # kept alive through .base): np.memmap.__array_finalize__ makes
+            # per-array slicing ~10x more expensive, and a snapshot holds
+            # one array per example.
+            self._buf = np.asarray(
+                np.memmap(self.path, dtype=np.uint8, mode="c"))
+        offset = int(record["offset"])
+        raw = self._buf[offset: offset + nbytes]
+        if raw.shape[0] != nbytes:
+            raise ValueError(
+                f"sidecar {self.path.name} truncated: need {nbytes} bytes "
+                f"at offset {offset}, have {raw.shape[0]}"
+            )
+        return raw.view(dtype).reshape(shape)
+
+
+def _encode(obj, sidecar: SidecarBuilder | None = None):
+    """Recursively convert a state structure into JSON-serializable form.
+
+    With a ``sidecar`` builder, array bytes go to the sidecar and the JSON
+    gets an ``__extarray__`` reference; without one (the WAL path, which
+    keeps self-contained single-line records), arrays inline as base64.
+    """
     if isinstance(obj, np.ndarray):
-        return encode_array(obj)
+        return sidecar.add(obj) if sidecar is not None else encode_array(obj)
     if isinstance(obj, np.integer):
         return int(obj)
     if isinstance(obj, np.floating):
         return float(obj)
     if isinstance(obj, dict):
-        return {key: _encode(value) for key, value in obj.items()}
+        return {key: _encode(value, sidecar) for key, value in obj.items()}
     if isinstance(obj, (list, tuple)):
-        return [_encode(value) for value in obj]
+        return [_encode(value, sidecar) for value in obj]
     return obj
 
 
-def _decode(obj):
-    """Inverse of :func:`_encode` (arrays come back as ndarrays)."""
-    if isinstance(obj, dict):
+def _decode(obj, sidecar: SidecarReader | None = None):
+    """Inverse of :func:`_encode` (arrays come back as ndarrays).
+
+    Handles both encodings regardless of the writer: inline base64 decodes
+    to a fresh array, ``__extarray__`` resolves to a copy-on-write view of
+    the mapped sidecar.
+    """
+    # Exact type checks: json.loads only ever yields dict/list/str/int/
+    # float/bool/None, and this walk visits every node of a snapshot (tens
+    # of records per example), so isinstance dispatch is measurable.
+    t = type(obj)
+    if t is dict:
         if "__ndarray__" in obj:
             return decode_array(obj)
-        return {key: _decode(value) for key, value in obj.items()}
-    if isinstance(obj, list):
-        return [_decode(value) for value in obj]
+        if "__extarray__" in obj:
+            if sidecar is None:
+                raise ValueError(
+                    "snapshot contains sidecar array references but no "
+                    "sidecar file is associated with this document"
+                )
+            return sidecar.resolve(obj["__extarray__"])
+        return {key: _decode(value, sidecar) for key, value in obj.items()}
+    if t is list:
+        return [_decode(value, sidecar) for value in obj]
     return obj
 
 
@@ -327,47 +447,87 @@ def service_state(service: "ICCacheService", wal_epoch: int = 0) -> dict:
 
 
 def write_snapshot(service: "ICCacheService", path: str | Path,
-                   wal_epoch: int = 0) -> Path:
-    """Serialize ``service`` to ``path`` (one JSON document), atomically.
+                   wal_epoch: int = 0, sidecar: bool = True) -> Path:
+    """Serialize ``service`` to ``path``, atomically.
 
-    The document is written to a sibling temp file and ``os.replace``d
-    into place, so a crash mid-write can never destroy the previous valid
-    snapshot — readers see either the old image or the new one, complete.
+    With ``sidecar=True`` (the default) array bytes go to a content-hash
+    named ``<name>.<digest>.bin`` next to the manifest and the JSON holds
+    only references.  Write order is bin first, then manifest, each via a
+    sibling temp file and ``os.replace`` — and because the bin's name is a
+    hash of its contents, a new image can never overwrite the bin the
+    previous manifest points at (identical bytes replace harmlessly), so a
+    crash at any point leaves a complete old image or a complete new one.
+    Stale sidecars from earlier images are removed after the manifest
+    lands.  ``sidecar=False`` writes a self-contained JSON document with
+    inline base64 arrays (same layout a version-1 reader knew, minus the
+    version bump).
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    payload = json.dumps(_encode(service_state(service,
-                                               wal_epoch=wal_epoch)),
-                         separators=(",", ":"))
+    state = service_state(service, wal_epoch=wal_epoch)
+    bin_name = None
+    if sidecar:
+        builder = SidecarBuilder()
+        doc = _encode(state, builder)
+        if builder.data_bytes:
+            blob = builder.tobytes()
+            digest = hashlib.blake2b(blob, digest_size=8).hexdigest()
+            bin_name = f"{path.name}.{digest}.bin"
+            doc["sidecar"] = bin_name
+            bin_tmp = path.with_name(bin_name + ".tmp")
+            bin_tmp.write_bytes(blob)
+            os.replace(bin_tmp, path.with_name(bin_name))
+    else:
+        doc = _encode(state)
+    payload = json.dumps(doc, separators=(",", ":"))
     tmp = path.with_name(path.name + ".tmp")
     tmp.write_text(payload + "\n", encoding="utf-8")
     os.replace(tmp, path)
+    for stale in path.parent.glob(path.name + ".*.bin"):
+        if stale.name != bin_name:
+            stale.unlink(missing_ok=True)
     return path
 
 
 def load_snapshot(path: str | Path) -> dict:
-    """Read and decode a snapshot; validates format and version."""
-    snapshot = _decode(json.loads(Path(path).read_text(encoding="utf-8")))
-    if snapshot.get("format") != SNAPSHOT_FORMAT:
+    """Read and decode a snapshot; validates format and version.
+
+    Version-2 manifests referencing a sidecar resolve arrays as
+    copy-on-write ``np.memmap`` views; version-1 documents (and inline
+    base64 anywhere) decode exactly as before.
+    """
+    path = Path(path)
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(doc, dict) or doc.get("format") != SNAPSHOT_FORMAT:
         raise ValueError(f"{path} is not an {SNAPSHOT_FORMAT} file")
-    version = snapshot.get("version")
-    if version != SNAPSHOT_VERSION:
+    version = doc.get("version")
+    if version not in SUPPORTED_VERSIONS:
         raise ValueError(
             f"snapshot version {version} unsupported "
-            f"(this reader speaks {SNAPSHOT_VERSION})"
+            f"(this reader speaks {sorted(SUPPORTED_VERSIONS)})"
         )
-    return snapshot
+    sidecar_name = doc.get("sidecar")
+    reader = SidecarReader(path.with_name(sidecar_name)) \
+        if sidecar_name else None
+    return _decode(doc, reader)
 
 
 def config_from_record(record: dict) -> ICCacheConfig:
-    """Rebuild the nested config dataclasses from their asdict form."""
+    """Rebuild the nested config dataclasses from their asdict form.
+
+    The ``index`` section defaults when absent: version-1 snapshots predate
+    the index scale knobs, and the defaults reproduce their behavior.
+    """
     record = dict(record)
     selector = dict(record.pop("selector"))
     selector["threshold_grid"] = tuple(selector["threshold_grid"])
+    index_record = record.pop("index", None)
     return ICCacheConfig(
         selector=SelectorConfig(**selector),
         router=RouterConfig(**record.pop("router")),
         manager=ManagerConfig(**record.pop("manager")),
+        index=IndexConfig(**index_record) if index_record is not None
+        else IndexConfig(),
         **record,
     )
 

@@ -1,4 +1,14 @@
-"""Exact (brute-force) cosine similarity index."""
+"""Exact (brute-force) cosine similarity index.
+
+Storage is float32 (``STORAGE_DTYPE``): unit vectors lose ~1e-7 relative
+precision per component, which is far below the noise floor of every
+consumer, and resident bytes halve — the difference between fitting an
+N=1M pool in RAM twice (live + snapshot restore) or not.  Normalization
+happens in float64 and rounds once on store, so the stored vector is the
+correctly-rounded float32 image of the exact unit vector.  Scores are
+computed in float32 and returned as Python floats; exact ties between
+identical stored vectors still tie exactly (same bits in, same bits out).
+"""
 
 from __future__ import annotations
 
@@ -7,6 +17,10 @@ from dataclasses import dataclass
 import numpy as np
 
 _EPS = 1e-12
+
+#: The on-disk and in-RAM dtype of every dense vector block in the
+#: vectorstore (flat storage, IVF cluster blocks, snapshot sidecars).
+STORAGE_DTYPE = np.float32
 
 
 @dataclass(frozen=True)
@@ -33,7 +47,8 @@ class FlatIndex:
         self.dim = dim
         self._keys: list[object] = []
         self._key_to_row: dict[object, int] = {}
-        self._vectors = np.empty((0, dim), dtype=float)  # capacity >= size
+        # capacity >= size
+        self._vectors = np.empty((0, dim), dtype=STORAGE_DTYPE)
         self._view: np.ndarray | None = None  # cached read-only matrix view
 
     def __len__(self) -> int:
@@ -48,13 +63,14 @@ class FlatIndex:
 
     @property
     def matrix(self) -> np.ndarray:
-        """The (n, dim) matrix of stored unit vectors, row i = key i.
+        """The (n, dim) float32 matrix of stored unit vectors, row i = key i.
 
         A read-only view into index storage (no copy): callers such as
         :class:`repro.vectorstore.ivf.IVFIndex` slice it for vectorized
-        per-cluster scoring.  Do not mutate.  The view object is cached and
-        reused until the index grows, shrinks, or reallocates, so hot-path
-        callers pay nothing per access.
+        per-cluster scoring, and K-Means retraining consumes it directly
+        (dtype-preserving, no float64 upcast copy).  Do not mutate.  The
+        view object is cached and reused until the index grows, shrinks, or
+        reallocates, so hot-path callers pay nothing per access.
         """
         view = self._view
         n = len(self._keys)
@@ -63,6 +79,11 @@ class FlatIndex:
             view.flags.writeable = False
             self._view = view
         return view
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the dense vector storage (capacity included)."""
+        return self._vectors.nbytes
 
     def to_state(self) -> dict:
         """Serializable state: keys in *row order* plus the dense matrix.
@@ -76,15 +97,21 @@ class FlatIndex:
         return {
             "dim": self.dim,
             "keys": list(self._keys),
-            "vectors": np.array(self.matrix),
+            "vectors": np.array(self.matrix, dtype=STORAGE_DTYPE),
         }
 
     @classmethod
     def from_state(cls, state: dict) -> "FlatIndex":
-        """Rebuild an index bit-identical to the one :meth:`to_state` saw."""
+        """Rebuild an index bit-identical to the one :meth:`to_state` saw.
+
+        Float64 vectors from pre-float32 snapshots are narrowed to float32
+        here (each element correctly rounded); see the back-compat matrix
+        in ``docs/PERSISTENCE.md``.  A float32 sidecar slice passes through
+        without a copy, which is what makes mmap restores O(ms).
+        """
         index = cls(int(state["dim"]))
         keys = list(state["keys"])
-        vectors = np.ascontiguousarray(state["vectors"], dtype=float)
+        vectors = np.ascontiguousarray(state["vectors"], dtype=STORAGE_DTYPE)
         if vectors.shape != (len(keys), index.dim):
             raise ValueError(
                 f"state vectors shape {vectors.shape} != "
@@ -103,19 +130,20 @@ class FlatIndex:
 
     def add(self, key: object, vector: np.ndarray) -> None:
         """Insert (or overwrite) ``key`` with its embedding."""
-        vec = np.asarray(vector, dtype=float).reshape(-1)
+        vec = np.asarray(vector, dtype=np.float64).reshape(-1)
         if vec.shape != (self.dim,):
             raise ValueError(f"vector dim {vec.shape} != index dim ({self.dim},)")
         norm = float(np.linalg.norm(vec))
         if norm < _EPS:
             raise ValueError(f"cannot index a zero vector for key {key!r}")
-        vec = vec / norm
+        # Normalize in float64, round once to storage precision.
+        vec = (vec / norm).astype(STORAGE_DTYPE)
         if key in self._key_to_row:
             self._vectors[self._key_to_row[key]] = vec
             return
         row = len(self._keys)
         if row == self._vectors.shape[0]:  # grow capacity by doubling
-            grown = np.empty((max(8, 2 * row), self.dim), dtype=float)
+            grown = np.empty((max(8, 2 * row), self.dim), dtype=STORAGE_DTYPE)
             grown[:row] = self._vectors[:row]
             self._vectors = grown
         self._key_to_row[key] = row
@@ -136,7 +164,7 @@ class FlatIndex:
         self._keys.pop()
 
     def get_vector(self, key: object) -> np.ndarray:
-        """The stored (normalized) embedding for ``key``."""
+        """The stored (normalized, float32) embedding for ``key``."""
         return self._vectors[self._key_to_row[key]].copy()
 
     def search(self, query: np.ndarray, k: int) -> list[SearchResult]:
@@ -145,13 +173,15 @@ class FlatIndex:
             raise ValueError(f"k must be >= 0, got {k}")
         if k == 0 or not self._keys:
             return []
-        q = np.asarray(query, dtype=float).reshape(-1)
+        q = np.asarray(query, dtype=np.float64).reshape(-1)
         if q.shape != (self.dim,):
             raise ValueError(f"query dim {q.shape} != index dim ({self.dim},)")
         qnorm = float(np.linalg.norm(q))
         if qnorm < _EPS:
             return []
-        scores = self.matrix @ (q / qnorm)
+        # Score in storage precision: a float64 query against the float32
+        # matrix would silently upcast-copy the whole matrix per call.
+        scores = self.matrix @ (q / qnorm).astype(STORAGE_DTYPE)
         k = min(k, len(self._keys))
         top = np.argpartition(-scores, k - 1)[:k]
         top = top[np.argsort(-scores[top])]
@@ -165,7 +195,7 @@ class FlatIndex:
         """
         if k < 0:
             raise ValueError(f"k must be >= 0, got {k}")
-        q = np.atleast_2d(np.asarray(queries, dtype=float))
+        q = np.atleast_2d(np.asarray(queries, dtype=np.float64))
         if q.shape[1] != self.dim:
             raise ValueError(f"query dim {q.shape[1]} != index dim {self.dim}")
         n_queries = q.shape[0]
@@ -173,7 +203,7 @@ class FlatIndex:
             return [[] for _ in range(n_queries)]
         norms = np.linalg.norm(q, axis=1)
         valid = norms >= _EPS
-        q = q / np.maximum(norms, _EPS)[:, None]
+        q = (q / np.maximum(norms, _EPS)[:, None]).astype(STORAGE_DTYPE)
 
         scores = q @ self.matrix.T  # (batch, n): the one vectorized matmul
         k = min(k, len(self._keys))

@@ -3,16 +3,33 @@
 Paper section 4.1 balances the per-request matching cost K + N/K and picks
 K = sqrt(N) clusters; :func:`optimal_cluster_count` implements exactly that.
 The index clusters lazily: entries accumulate in the exact flat index until
-``retrain_threshold`` inserts/removes have occurred, then K-Means re-runs in
-the background (here: synchronously on the next search).
+``retrain_threshold`` inserts/removes have occurred, then the clustering is
+refreshed in the background (here: synchronously on the next search).
 
 Storage is cluster-major and contiguous, FAISS-style (the section 5
-deployment note): every cluster owns a dense ``(m, dim)`` float64 block plus
+deployment note): every cluster owns a dense ``(m, dim)`` float32 block plus
 a parallel key array, so a single-query probe is one ``block @ q``
 matrix-vector product instead of a Python loop over posting-list keys, and
 ``remove`` is an O(1) swap-delete against the block's key->row map.  The
 batched path (:meth:`IVFIndex.search_batch`) reuses the same blocks, scoring
 each probed cluster for all of its querying rows in one matmul.
+
+Two scale features are gated by configuration and OFF by default:
+
+* **Two-pass search** (``two_pass_min_n``): probed clusters are first scored
+  against an int8 symmetric-quantized mirror of each block (one byte per
+  component, int32 accumulation), then only the top ``rescore_depth``
+  candidates are re-scored exactly in float32.  The coarse pass touches 4x
+  less memory per candidate, which is what matters once the probed set blows
+  the cache hierarchy; the rescore restores exact ordering for everything
+  that can reach the top k.
+* **Incremental retrain** (``incremental_min_n``): above this pool size a
+  staleness-triggered retrain stops re-running global K-Means and instead
+  recenters every cluster, splits oversized clusters with a seeded 2-means
+  on their own rows, and retires undersized clusters into their nearest
+  surviving neighbor.  The schedule is a pure function of journaled state
+  (blocks, centroids, seed, trainings counter), so WAL replay reproduces it
+  bit-identically.
 """
 
 from __future__ import annotations
@@ -22,8 +39,48 @@ from collections import defaultdict
 
 import numpy as np
 
-from repro.vectorstore.flat import FlatIndex, SearchResult
+from repro.utils.rng import make_rng, stable_hash
+from repro.vectorstore.flat import STORAGE_DTYPE, FlatIndex, SearchResult
 from repro.vectorstore.kmeans import KMeans
+
+#: Symmetric int8 quantization scale: components of unit vectors lie in
+#: [-1, 1], so ±127 uses the full signed-byte range with no zero-point.
+_Q8_SCALE = 127.0
+
+_EPS = 1e-12
+
+#: Above this pool size a global retrain fits K-Means on a seeded uniform
+#: subsample of this many rows and assigns the rest by nearest centroid.
+#: Far above every golden scenario, so behavior at test scales is unchanged.
+TRAIN_SAMPLE_CAP = 200_000
+
+
+def _nearest_centroid(matrix: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Nearest-centroid labels for every row, chunked to bound the (rows, k)
+    distance temporary at large pool sizes."""
+    c = np.asarray(centroids, dtype=matrix.dtype)
+    c_sq = np.einsum("kd,kd->k", c, c)
+    labels = np.empty(matrix.shape[0], dtype=np.intp)
+    step = 65_536
+    for start in range(0, matrix.shape[0], step):
+        chunk = matrix[start : start + step]
+        # ||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2; the ||x||^2 term is
+        # constant per row, so argmin only needs the last two.
+        scores = chunk @ c.T
+        labels[start : start + step] = np.argmin(c_sq - 2.0 * scores, axis=1)
+    return labels
+
+
+def quantize_i8(x: np.ndarray) -> np.ndarray:
+    """Symmetric int8 quantization of unit-norm float rows.
+
+    ``round(x * 127)`` clipped to [-127, 127]; the dot product of two
+    quantized vectors then approximates ``127^2 * cosine`` and fits int32
+    for any practical dim (dim * 127^2 << 2^31).  Deterministic: rint
+    rounds half-to-even and the result depends only on the input values.
+    """
+    scaled = np.rint(np.asarray(x, dtype=STORAGE_DTYPE) * _Q8_SCALE)
+    return np.clip(scaled, -_Q8_SCALE, _Q8_SCALE).astype(np.int8)
 
 
 def optimal_cluster_count(n: int) -> int:
@@ -41,46 +98,104 @@ class _ClusterBlock:
     :class:`~repro.vectorstore.flat.FlatIndex` uses for its global storage).
     Capacity grows by doubling, so appends are amortized O(1).  ``keys`` is
     the live list — callers may iterate it but must not mutate it.
+
+    A lazy int8 mirror (:meth:`q8view`) serves the two-pass coarse score.
+    It materializes on first use and is then maintained incrementally in
+    lock-step with the float32 rows (append quantizes one row, remove mirrors
+    the swap), so steady-state search never re-quantizes a whole block.  The
+    mirror is derived state: never serialized, rebuilt on demand after a
+    restore, and always the exact quantization of the live float32 rows.
+
+    A float64 running sum of the member rows rides along (``running_sum``),
+    updated on every append/remove, so recentering a cluster during
+    incremental retrain is O(dim) instead of an O(members * dim) pass over
+    the block.  Unlike the int8 mirror it IS journaled state: the
+    incremental updates accumulate in a different order than a fresh
+    pairwise reduction would, so a restored index must inherit the exact
+    sum (not recompute it) for its next retrain to stay bit-identical to
+    the uninterrupted control.  Fresh blocks compute the sum with the same
+    pairwise reduction ``mean`` uses, so construction bits never drift.
     """
 
-    __slots__ = ("keys", "_pos", "_vectors")
+    __slots__ = ("keys", "_pos", "_vectors", "_q8", "_sum")
 
     def __init__(self, dim: int, keys: list[object] | None = None,
-                 vectors: np.ndarray | None = None) -> None:
+                 vectors: np.ndarray | None = None,
+                 running_sum: np.ndarray | None = None) -> None:
         if keys is None:
             self.keys: list[object] = []
             self._pos: dict[object, int] = {}
-            self._vectors = np.empty((0, dim), dtype=float)
+            self._vectors = np.empty((0, dim), dtype=STORAGE_DTYPE)
         else:
             self.keys = list(keys)
             self._pos = {key: row for row, key in enumerate(self.keys)}
-            self._vectors = np.ascontiguousarray(vectors, dtype=float)
+            self._vectors = np.ascontiguousarray(vectors, dtype=STORAGE_DTYPE)
+        if running_sum is not None:
+            self._sum = np.array(running_sum, dtype=np.float64)
+        else:
+            self._sum = self._vectors[: len(self.keys)].sum(
+                axis=0, dtype=np.float64) if self.keys \
+                else np.zeros(dim, dtype=np.float64)
+        self._q8: np.ndarray | None = None
 
     def __len__(self) -> int:
         return len(self.keys)
 
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes: float32 rows plus the int8 mirror if materialized."""
+        total = self._vectors.nbytes
+        if self._q8 is not None:
+            total += self._q8.nbytes
+        return total
+
     def view(self) -> np.ndarray:
-        """The live (m, dim) block of member vectors (no copy)."""
+        """The live (m, dim) float32 block of member vectors (no copy)."""
         return self._vectors[: len(self.keys)]
+
+    @property
+    def running_sum(self) -> np.ndarray:
+        """The maintained float64 sum of the live rows (journaled state)."""
+        return self._sum
+
+    def q8view(self) -> np.ndarray:
+        """The live (m, dim) int8 quantized mirror (materialized on demand)."""
+        if self._q8 is None:
+            self._q8 = np.empty(self._vectors.shape, dtype=np.int8)
+            m = len(self.keys)
+            self._q8[:m] = quantize_i8(self._vectors[:m])
+        return self._q8[: len(self.keys)]
 
     def append(self, key: object, vector: np.ndarray) -> None:
         row = len(self.keys)
         if row == self._vectors.shape[0]:  # grow capacity by doubling
-            grown = np.empty((max(8, 2 * row), self._vectors.shape[1]),
-                             dtype=float)
+            cap = max(8, 2 * row)
+            grown = np.empty((cap, self._vectors.shape[1]),
+                             dtype=STORAGE_DTYPE)
             grown[:row] = self._vectors[:row]
             self._vectors = grown
+            if self._q8 is not None:
+                grown_q8 = np.empty((cap, self._vectors.shape[1]),
+                                    dtype=np.int8)
+                grown_q8[:row] = self._q8[:row]
+                self._q8 = grown_q8
         self._vectors[row] = vector
+        self._sum += self._vectors[row]  # the stored (float32-cast) row
+        if self._q8 is not None:
+            self._q8[row] = quantize_i8(self._vectors[row])
         self._pos[key] = row
         self.keys.append(key)
 
     def remove(self, key: object) -> None:
         row = self._pos.pop(key)
+        self._sum -= self._vectors[row]
         last = len(self.keys) - 1
         if row != last:
             moved = self.keys[last]
             self.keys[row] = moved
             self._vectors[row] = self._vectors[last]
+            if self._q8 is not None:
+                self._q8[row] = self._q8[last]
             self._pos[moved] = row
         self.keys.pop()
 
@@ -93,25 +208,44 @@ class IVFIndex:
     a fresh segment alongside trained shards.
 
     The flat index remains the single source of truth for *membership* and
-    the K-Means training data (its row order is what retraining clusters);
-    the per-cluster blocks are the serving layout derived from it.  Scores
-    are identical to a per-key Python loop up to BLAS accumulation order,
-    and candidate ordering — including tie-breaking — matches a per-key loop
-    over the same posting lists exactly (stable sort over cluster-probe
-    order, then block row order).
+    the K-Means training data (its row order is what a global retrain
+    clusters); the per-cluster blocks are the serving layout derived from it.
+    Scores are identical to a per-key Python loop up to float32 accumulation
+    order, and candidate ordering — including tie-breaking — matches a
+    per-key loop over the same posting lists exactly (stable sort over
+    cluster-probe order, then block row order).
+
+    ``two_pass_min_n`` / ``rescore_depth`` gate the int8 coarse + exact
+    rescore path and ``incremental_min_n`` gates split/merge maintenance;
+    see the module docstring.  Both default to values that leave behavior
+    on existing workloads unchanged (two-pass fully off; incremental only
+    above pools far larger than any golden scenario builds).
     """
 
     def __init__(self, dim: int, nprobe: int = 2, min_train_size: int = 64,
-                 retrain_threshold: float = 0.3, seed: int = 0) -> None:
+                 retrain_threshold: float = 0.3, seed: int = 0,
+                 two_pass_min_n: int | None = None, rescore_depth: int = 64,
+                 incremental_min_n: int = 10_000) -> None:
         if nprobe < 1:
             raise ValueError(f"nprobe must be >= 1, got {nprobe}")
         if not 0.0 < retrain_threshold <= 1.0:
             raise ValueError(f"retrain_threshold must be in (0,1], got {retrain_threshold}")
+        if two_pass_min_n is not None and two_pass_min_n < 1:
+            raise ValueError(
+                f"two_pass_min_n must be None or >= 1, got {two_pass_min_n}")
+        if rescore_depth < 1:
+            raise ValueError(f"rescore_depth must be >= 1, got {rescore_depth}")
+        if incremental_min_n < 1:
+            raise ValueError(
+                f"incremental_min_n must be >= 1, got {incremental_min_n}")
         self.dim = dim
         self.nprobe = nprobe
         self.min_train_size = min_train_size
         self.retrain_threshold = retrain_threshold
         self.seed = seed
+        self.two_pass_min_n = two_pass_min_n
+        self.rescore_depth = rescore_depth
+        self.incremental_min_n = incremental_min_n
 
         self._flat = FlatIndex(dim)
         self._centroids: np.ndarray | None = None
@@ -138,6 +272,11 @@ class IVFIndex:
     def cluster_sizes(self) -> list[int]:
         """Members per cluster (empty while untrained); balance diagnostic."""
         return [len(block) for block in self._blocks]
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of dense storage: flat matrix + cluster blocks."""
+        return self._flat.nbytes + sum(b.nbytes for b in self._blocks)
 
     def add(self, key: object, vector: np.ndarray) -> None:
         """Insert ``key``; an overwrite of an existing key is ONE churn event
@@ -168,6 +307,12 @@ class IVFIndex:
     def get_vector(self, key: object) -> np.ndarray:
         return self._flat.get_vector(key)
 
+    @property
+    def two_pass_active(self) -> bool:
+        """Whether the next trained search takes the coarse+rescore path."""
+        return (self.two_pass_min_n is not None
+                and len(self._flat) >= self.two_pass_min_n)
+
     def search(self, query: np.ndarray, k: int) -> list[SearchResult]:
         """Approximate top-k; exact while untrained or small.
 
@@ -175,12 +320,18 @@ class IVFIndex:
         matrix-vector product each, then take the top k with a *stable*
         argsort so exact ties resolve in cluster-probe-then-row order —
         the same order a per-key Python loop over the posting lists yields.
+
+        When two-pass is active, the probed blocks are first scored in int8
+        (:meth:`_ClusterBlock.q8view`) and only the top ``rescore_depth``
+        coarse candidates are scored in float32.  Identical vectors get
+        identical coarse AND exact scores, so the stable sorts keep their
+        relative order equal to probe-then-row order, same as single-pass.
         """
         self._maybe_train()
         if self._centroids is None:
             return self._flat.search(query, k)
 
-        q = np.asarray(query, dtype=float).reshape(-1)
+        q = np.asarray(query, dtype=np.float64).reshape(-1)
         qnorm = float(np.linalg.norm(q))
         if qnorm <= 0 or k <= 0:
             return []
@@ -188,25 +339,77 @@ class IVFIndex:
         nprobe = min(self.nprobe, self.n_clusters)
         centroid_scores = self._centroids @ q
         probe = np.argsort(-centroid_scores)[:nprobe]
+        # Block scoring happens in storage precision: a float64 query would
+        # silently upcast every probed block per call.
+        q32 = q.astype(STORAGE_DTYPE)
 
-        keys: list[object] = []
-        chunks: list[np.ndarray] = []
-        for cluster in probe:
-            block = self._blocks[cluster]
-            if not block.keys:
-                continue
-            # One vectorized product per probed cluster.  einsum, not BLAS
-            # gemv: its per-row accumulation is a pure function of row
-            # content, so identical vectors score identically wherever they
-            # sit in the block — BLAS kernels can differ in the last ulp by
-            # row position, which would break exact ties nondeterministically.
-            chunks.append(np.einsum("ij,j->i", block.view(), q))
-            keys.extend(block.keys)
-        if not chunks:
+        blocks = [self._blocks[c] for c in probe if self._blocks[c].keys]
+        if not blocks:
             return []
+        if self.two_pass_active:
+            return self._search_two_pass(blocks, q32, k)
+
+        # One vectorized product per probed cluster.  einsum, not BLAS
+        # gemv: its per-row accumulation is a pure function of row
+        # content, so identical vectors score identically wherever they
+        # sit in the block — BLAS kernels can differ in the last ulp by
+        # row position, which would break exact ties nondeterministically.
+        chunks = [np.einsum("ij,j->i", block.view(), q32) for block in blocks]
         scores = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
-        top = np.argsort(-scores, kind="stable")[: min(k, len(keys))]
-        return [SearchResult(keys[i], float(scores[i])) for i in top]
+        if k == 1:
+            # argmax returns the FIRST index attaining the max — exactly the
+            # stable-argsort winner — and skips sorting the other few
+            # hundred probed rows (the admission dedupe check hits this
+            # path on every served request).
+            top = (int(np.argmax(scores)),)
+        else:
+            top = np.argsort(-scores, kind="stable")[: min(k, scores.shape[0])]
+        # Materialize keys for the k winners only (probed clusters hold
+        # hundreds of keys; extending a Python list with all of them per
+        # query costs more than the scoring matmuls).
+        if len(blocks) == 1:
+            keys0 = blocks[0].keys
+            return [SearchResult(keys0[i], float(scores[i])) for i in top]
+        offsets = np.zeros(len(blocks) + 1, dtype=np.intp)
+        offsets[1:] = np.cumsum([len(b.keys) for b in blocks])
+        owners = np.searchsorted(offsets, top, side="right") - 1
+        return [
+            SearchResult(blocks[b].keys[int(gi - offsets[b])], float(scores[gi]))
+            for b, gi in zip(owners, top)
+        ]
+
+    def _search_two_pass(self, blocks: list[_ClusterBlock], q32: np.ndarray,
+                         k: int) -> list[SearchResult]:
+        """int8 coarse score over probed blocks, exact float32 rescore of top-C.
+
+        Only the C = max(k, rescore_depth) survivors of the coarse pass pay
+        float32 work (and Python-level key lookups), so per-query cost is
+        dominated by the 1-byte-per-component coarse scan.  Both sorts are
+        stable: coarse ties keep probe-then-row order, and exact-rescore ties
+        keep coarse order — so identical vectors rank exactly as they would
+        single-pass.
+        """
+        q8 = quantize_i8(q32)
+        chunks = [np.einsum("ij,j->i", block.q8view(), q8, dtype=np.int32)
+                  for block in blocks]
+        coarse = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+        depth = min(max(k, self.rescore_depth), coarse.shape[0])
+        cand = np.argsort(-coarse, kind="stable")[:depth]
+
+        # Map concatenated candidate indices back to (block, row) through the
+        # chunk offsets; only these `depth` rows get gathered and rescored.
+        offsets = np.zeros(len(blocks) + 1, dtype=np.intp)
+        offsets[1:] = np.cumsum([len(b) for b in blocks])
+        cand_vecs = np.empty((depth, self.dim), dtype=STORAGE_DTYPE)
+        cand_keys: list[object] = []
+        for out, gi in enumerate(cand):
+            b = int(np.searchsorted(offsets, gi, side="right")) - 1
+            row = int(gi - offsets[b])
+            cand_vecs[out] = blocks[b].view()[row]
+            cand_keys.append(blocks[b].keys[row])
+        exact = np.einsum("ij,j->i", cand_vecs, q32)
+        top = np.argsort(-exact, kind="stable")[: min(k, depth)]
+        return [SearchResult(cand_keys[i], float(exact[i])) for i in top]
 
     def search_batch(self, queries: np.ndarray, k: int) -> list[list[SearchResult]]:
         """Approximate top-``k`` for a micro-batch of queries.
@@ -216,9 +419,12 @@ class IVFIndex:
         multiplied once per querying subset (``Q_sub @ block.T``) — no
         per-call row gathering, which is the amortization that makes batched
         serving pay off (section 7's throughput experiments assume this).
+        The batched path always scores in exact float32: the block matmul is
+        already amortized across the batch, so the int8 coarse pass has
+        nothing to win here (it targets the single-request serve loop).
         """
         self._maybe_train()
-        q = np.atleast_2d(np.asarray(queries, dtype=float))
+        q = np.atleast_2d(np.asarray(queries, dtype=np.float64))
         if self._centroids is None:
             return self._flat.search_batch(q, k)
         if q.shape[1] != self.dim:
@@ -228,11 +434,12 @@ class IVFIndex:
             return [[] for _ in range(n_queries)]
         norms = np.linalg.norm(q, axis=1)
         valid = norms > 0
-        q = q / np.maximum(norms, 1e-12)[:, None]
+        q = q / np.maximum(norms, _EPS)[:, None]
 
         nprobe = min(self.nprobe, self.n_clusters)
         centroid_scores = q @ self._centroids.T  # (batch, K)
         probes = np.argpartition(-centroid_scores, nprobe - 1, axis=1)[:, :nprobe]
+        q32 = q.astype(STORAGE_DTYPE)
 
         # Invert to cluster -> querying rows so each cluster's block is
         # multiplied once per batch, not once per query.
@@ -247,7 +454,7 @@ class IVFIndex:
             members = block.keys
             if not members:
                 continue
-            scores = q[rows] @ block.view().T               # (rows, m)
+            scores = q32[rows] @ block.view().T             # (rows, m)
             m = len(members)
             keep = min(k, m)
             for row, qi in enumerate(rows):
@@ -264,12 +471,16 @@ class IVFIndex:
     def to_state(self) -> dict:
         """Serializable state capturing the full training-relevant history.
 
-        Beyond membership, three things must survive a round-trip for a
+        Beyond membership, four things must survive a round-trip for a
         restored index to behave bit-identically: the flat storage's row
-        order (K-Means reads it at retrain time), the cluster-major blocks
-        (probe scoring iterates block rows for tie-breaking), and the churn
-        counter (it schedules the *next* retrain).  See
-        :mod:`repro.persistence.snapshot` for the on-disk encoding.
+        order (a global retrain reads it), the cluster-major blocks (probe
+        scoring iterates block rows for tie-breaking, and the incremental
+        split/merge schedule is a function of them), each block's running
+        sum (recentering reads it, and its incremental accumulation order
+        is not recoverable from the rows), and the churn counter (it
+        schedules the *next* retrain).  The int8 mirrors are derived state
+        and deliberately absent.  See :mod:`repro.persistence.snapshot`
+        for the on-disk encoding.
         """
         return {
             "dim": self.dim,
@@ -277,11 +488,16 @@ class IVFIndex:
             "min_train_size": self.min_train_size,
             "retrain_threshold": self.retrain_threshold,
             "seed": self.seed,
+            "two_pass_min_n": self.two_pass_min_n,
+            "rescore_depth": self.rescore_depth,
+            "incremental_min_n": self.incremental_min_n,
             "flat": self._flat.to_state(),
             "centroids": None if self._centroids is None
-            else np.array(self._centroids),
+            else np.array(self._centroids, dtype=np.float64),
             "blocks": [
-                {"keys": list(block.keys), "vectors": np.array(block.view())}
+                {"keys": list(block.keys),
+                 "vectors": np.array(block.view(), dtype=STORAGE_DTYPE),
+                 "sum": np.array(block.running_sum, dtype=np.float64)}
                 for block in self._blocks
             ],
             "churn": self._churn,
@@ -290,21 +506,34 @@ class IVFIndex:
 
     @classmethod
     def from_state(cls, state: dict) -> "IVFIndex":
-        """Rebuild an index bit-identical to the one :meth:`to_state` saw."""
+        """Rebuild an index bit-identical to the one :meth:`to_state` saw.
+
+        The scale knobs default when absent so pre-overhaul snapshots (which
+        never wrote them) restore with today's default behavior; float64
+        vectors from such snapshots narrow to float32 in
+        :meth:`FlatIndex.from_state` and the block constructor.
+        """
         index = cls(
             dim=int(state["dim"]),
             nprobe=int(state["nprobe"]),
             min_train_size=int(state["min_train_size"]),
             retrain_threshold=float(state["retrain_threshold"]),
             seed=int(state["seed"]),
+            two_pass_min_n=state.get("two_pass_min_n"),
+            rescore_depth=int(state.get("rescore_depth", 64)),
+            incremental_min_n=int(state.get("incremental_min_n", 10_000)),
         )
         index._flat = FlatIndex.from_state(state["flat"])
         centroids = state["centroids"]
         index._centroids = None if centroids is None \
-            else np.ascontiguousarray(centroids, dtype=float)
+            else np.ascontiguousarray(centroids, dtype=np.float64)
+        # Pre-overhaul snapshots carry no running sum; recomputing it is
+        # exact for them because the drifted accumulation order only exists
+        # once incremental retrains have run (which those snapshots predate).
         index._blocks = [
             _ClusterBlock(index.dim, keys=block["keys"],
-                          vectors=block["vectors"])
+                          vectors=block["vectors"],
+                          running_sum=block.get("sum"))
             for block in state["blocks"]
         ]
         index._key_to_cluster = {
@@ -317,13 +546,15 @@ class IVFIndex:
         return index
 
     def retrain(self) -> bool:
-        """Force one K-Means retrain now; returns whether it happened.
+        """Force one retrain now; returns whether it happened.
 
         Used by WAL recovery (:mod:`repro.persistence.wal`) to replay a
         retrain that originally fired lazily inside a search: given the same
-        flat row order and seed, the forced retrain reproduces identical
-        centroids and blocks.  A pool below ``min_train_size`` never trains
-        (matching the lazy path), so the call is a no-op there.
+        journaled state (flat row order, blocks, seed, trainings counter),
+        the forced retrain reproduces identical centroids and blocks —
+        whether the pool size selects the global K-Means path or the
+        incremental split/merge path.  A pool below ``min_train_size`` never
+        trains (matching the lazy path), so the call is a no-op there.
         """
         if len(self._flat) < self.min_train_size:
             return False
@@ -350,19 +581,45 @@ class IVFIndex:
         )
         if not stale:
             return
+        if self._centroids is not None and n >= self.incremental_min_n:
+            self._incremental_retrain()
+        else:
+            self._global_retrain()
+        self._churn = 0
+        self.trainings += 1
+
+    def _global_retrain(self) -> None:
+        """Full K-Means over the flat pool; rebuilds every block.
+
+        Above ``TRAIN_SAMPLE_CAP`` rows the K-Means itself fits on a seeded
+        uniform subsample (Lloyd's over the full pool is quadratic-ish in
+        practice: n * k * dim per iteration, ~1.3e11 FLOPs per iteration at
+        n=1M) and every row is then assigned to its nearest fitted centroid.
+        At or below the cap — every golden scenario, by orders of magnitude —
+        the fit consumes the full pool and behavior is unchanged.
+        """
         keys = self._flat.keys
-        matrix = self._flat.matrix  # rows align with ``keys``
+        matrix = self._flat.matrix  # rows align with ``keys``; no copy
+        n = len(keys)
         k = optimal_cluster_count(n)
-        result = KMeans(n_clusters=k, seed=self.seed).fit(np.array(matrix))
-        self._centroids = result.centroids / np.maximum(
-            np.linalg.norm(result.centroids, axis=1, keepdims=True), 1e-12
-        )
+        if n > TRAIN_SAMPLE_CAP:
+            rng = make_rng(
+                stable_hash("train_sample", self.seed, self.trainings))
+            sample = np.sort(rng.choice(n, size=TRAIN_SAMPLE_CAP,
+                                        replace=False))
+            result = KMeans(n_clusters=k, seed=self.seed).fit(matrix[sample])
+            self._set_centroids(result.centroids)
+            labels = _nearest_centroid(matrix, result.centroids)
+        else:
+            result = KMeans(n_clusters=k, seed=self.seed).fit(matrix)
+            self._set_centroids(result.centroids)
+            labels = result.labels
         # Rebuild the cluster-major blocks: one contiguous gather per cluster,
         # members in flat row order (the order a per-key rebuild would visit).
         rows_by_cluster: list[list[int]] = [
             [] for _ in range(self._centroids.shape[0])
         ]
-        for row, label in enumerate(result.labels):
+        for row, label in enumerate(labels):
             rows_by_cluster[int(label)].append(row)
         self._blocks = []
         self._key_to_cluster = {}
@@ -374,5 +631,120 @@ class IVFIndex:
             ))
             for key in block_keys:
                 self._key_to_cluster[key] = cluster
-        self._churn = 0
-        self.trainings += 1
+
+    def _set_centroids(self, centroids: np.ndarray) -> None:
+        """Store unit-normalized float64 centroids (scored against queries)."""
+        c = np.asarray(centroids, dtype=np.float64)
+        self._centroids = c / np.maximum(
+            np.linalg.norm(c, axis=1, keepdims=True), _EPS
+        )
+
+    def _incremental_retrain(self) -> None:
+        """Split/merge maintenance instead of a global K-Means.
+
+        Three deterministic passes over the journaled blocks, each iterating
+        clusters in index order:
+
+        1. **Recenter** every non-empty cluster on the float64 mean of its
+           current members (drift correction after churn).
+        2. **Split** clusters above ``2 * n / sqrt(n)`` members via 2-means
+           on the cluster's own rows, seeded by
+           ``stable_hash("split", seed, trainings, cluster)``; the first
+           half stays in place, the second half appends as a new cluster.
+        3. **Retire** clusters below a quarter of the target size: their
+           members reassign to the nearest surviving centroid, visited in
+           retired-cluster-then-row order.
+
+        Recentering reads each block's maintained running sum (O(k * dim)
+        total), splits touch only oversized clusters, and the key→cluster
+        map is updated in place — a full O(n) rebuild happens only when the
+        retire pass compacts cluster indices.  That keeps a retire-free
+        maintenance tick in amortized milliseconds at N=1M (the benchmark
+        gate), versus O(n * sqrt(n)) for global K-Means.  Inputs are exactly
+        the journaled state (blocks with their running sums, seed,
+        trainings), so a WAL-replayed retrain reproduces the same schedule
+        and bit-identical blocks.
+        """
+        n = len(self._flat)
+        target = n / optimal_cluster_count(n)
+        ceiling = max(2, int(2.0 * target))
+        floor = max(1, int(target / 4.0))
+
+        centroids = [self._recenter(b) for b in self._blocks]
+
+        # Split pass: only clusters that existed at tick start are eligible;
+        # halves appended this tick wait for a later tick.
+        for ci in range(len(self._blocks)):
+            block = self._blocks[ci]
+            if len(block) <= ceiling:
+                continue
+            sub_seed = stable_hash("split", self.seed, self.trainings, ci)
+            result = KMeans(n_clusters=2, seed=sub_seed).fit(block.view())
+            half = np.flatnonzero(result.labels == 1)
+            if half.size == 0 or half.size == len(block):
+                continue  # degenerate split (identical rows): keep as-is
+            keep = np.flatnonzero(result.labels == 0)
+            moved_keys = [block.keys[i] for i in half]
+            moved_vecs = np.array(block.view()[half], dtype=STORAGE_DTYPE)
+            kept = _ClusterBlock(
+                self.dim, keys=[block.keys[i] for i in keep],
+                vectors=block.view()[keep],
+            )
+            self._blocks[ci] = kept
+            centroids[ci] = self._recenter(kept)
+            new_block = _ClusterBlock(self.dim, keys=moved_keys,
+                                      vectors=moved_vecs)
+            self._blocks.append(new_block)
+            centroids.append(self._recenter(new_block))
+            new_ci = len(self._blocks) - 1
+            for key in moved_keys:
+                self._key_to_cluster[key] = new_ci
+
+        # Retire pass: survivors keep their relative order; retired members
+        # reassign to the nearest surviving centroid.
+        survivors = [ci for ci, b in enumerate(self._blocks)
+                     if len(b) >= floor and centroids[ci] is not None]
+        if not survivors:
+            # Pathological (every cluster tiny): keep the largest, lowest
+            # index winning ties, so at least one cluster always survives.
+            sizes = [len(b) for b in self._blocks]
+            survivors = [sizes.index(max(sizes))]
+        if len(survivors) < len(self._blocks):
+            surv_set = set(survivors)
+            surv_blocks = [self._blocks[ci] for ci in survivors]
+            surv_centroids = np.stack([centroids[ci] for ci in survivors])
+            for ci, block in enumerate(self._blocks):
+                if ci in surv_set:
+                    continue
+                for row in range(len(block)):
+                    vec = block.view()[row]
+                    dest = int(np.argmax(surv_centroids @ vec))
+                    surv_blocks[dest].append(block.keys[row], vec)
+            self._blocks = surv_blocks
+            centroids = [self._recenter(b) for b in self._blocks]
+            # Compaction renumbered every surviving cluster: this is the one
+            # path that still pays a full O(n) key-map rebuild.  Recenter and
+            # split maintain the map in place, so a retire-free tick (the
+            # steady state the N=1M gate times) never touches all n entries.
+            self._key_to_cluster = {
+                key: cluster
+                for cluster, block in enumerate(self._blocks)
+                for key in block.keys
+            }
+
+        self._centroids = np.stack(centroids)
+
+    def _recenter(self, block: _ClusterBlock) -> np.ndarray | None:
+        """Unit-normalized float64 mean of a block's rows (None if empty).
+
+        Reads the block's maintained running sum — O(dim), not a pass over
+        the rows — which is what keeps the whole recenter sweep O(k * dim)
+        at N=1M.  For a freshly built block the sum equals the pairwise
+        ``mean`` reduction bit-for-bit; after incremental churn it carries
+        the (deterministic, journaled) accumulation order instead.
+        """
+        m = len(block.keys)
+        if not m:
+            return None
+        mean = block.running_sum / m
+        return mean / max(float(np.linalg.norm(mean)), _EPS)

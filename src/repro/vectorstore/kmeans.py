@@ -1,7 +1,13 @@
 """K-Means clustering (Lloyd's algorithm with k-means++ seeding).
 
 Used by :class:`repro.vectorstore.ivf.IVFIndex` to partition the example pool
-offline (paper section 4.1).
+offline (paper section 4.1), both for full (re)trains and for the 2-means
+splits of oversized clusters in the incremental maintenance path.
+
+``fit`` is dtype-preserving: float32 training data stays float32 end to end
+(no silent float64 upcast copy of the whole pool), centroids come back in the
+input dtype, and per-cluster means accumulate in float64 before narrowing so
+the result is the correctly-rounded mean regardless of storage precision.
 """
 
 from __future__ import annotations
@@ -38,7 +44,12 @@ class KMeans:
         self.seed = seed
 
     def fit(self, data: np.ndarray) -> KMeansResult:
-        x = np.asarray(data, dtype=float)
+        # Dtype-preserving and copy-free for contiguous float input: the
+        # IVF index hands us its cached read-only storage view, and a
+        # float64 coercion here would copy the entire pool per retrain.
+        x = np.asarray(data)
+        if x.dtype not in (np.float32, np.float64):
+            x = np.asarray(data, dtype=np.float64)
         if x.ndim != 2 or x.shape[0] == 0:
             raise ValueError(f"expected non-empty 2-D data, got shape {x.shape}")
         n = x.shape[0]
@@ -58,7 +69,10 @@ class KMeans:
             for c in range(k):
                 members = x[labels == c]
                 if members.shape[0] > 0:
-                    new_centroids[c] = members.mean(axis=0)
+                    # Accumulate the mean in float64, then narrow once: the
+                    # stored centroid is the correctly-rounded mean even for
+                    # float32 members.
+                    new_centroids[c] = members.mean(axis=0, dtype=np.float64)
                 else:
                     # Re-seed an empty cluster on the farthest point, the
                     # standard fix for centroid collapse.
@@ -78,7 +92,7 @@ class KMeans:
     def _kmeanspp_init(x: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
         """k-means++ seeding: spread initial centroids by D^2 sampling."""
         n = x.shape[0]
-        centroids = np.empty((k, x.shape[1]))
+        centroids = np.empty((k, x.shape[1]), dtype=x.dtype)
         first = int(rng.integers(0, n))
         centroids[0] = x[first]
         closest_sq = _sq_distances(x, centroids[:1]).reshape(-1)
@@ -88,7 +102,10 @@ class KMeans:
                 # All points coincide with existing centroids: pick uniformly.
                 idx = int(rng.integers(0, n))
             else:
-                probs = closest_sq / total
+                # float64 probabilities: Generator.choice checks they sum to
+                # 1 within a tolerance float32 rounding can miss.
+                probs = closest_sq.astype(np.float64)
+                probs /= probs.sum()
                 idx = int(rng.choice(n, p=probs))
             centroids[c] = x[idx]
             new_sq = _sq_distances(x, centroids[c : c + 1]).reshape(-1)
@@ -96,7 +113,27 @@ class KMeans:
         return centroids
 
 
+#: Cap on the (rows, k, dim) broadcast temporary inside ``_sq_distances``.
+#: At n=1M, k=1000, dim=64 the unchunked temporary is 238 GiB; chunking
+#: rows bounds it at ~_CHUNK_ELEMS * itemsize regardless of pool size.
+_CHUNK_ELEMS = 16_000_000
+
+
 def _sq_distances(x: np.ndarray, centroids: np.ndarray) -> np.ndarray:
-    """Pairwise squared Euclidean distances, (n, k)."""
-    diffs = x[:, None, :] - centroids[None, :, :]
-    return np.einsum("nkd,nkd->nk", diffs, diffs)
+    """Pairwise squared Euclidean distances, (n, k), in ``x``'s dtype.
+
+    Computed as diff-square-sum (not the ``||x||^2 - 2x.c + ||c||^2``
+    expansion, whose cancellation changes results bit-for-bit), chunked
+    over rows so the broadcast temporary stays bounded.  Each (row,
+    centroid) pair reduces independently over ``dim``, so row chunking
+    performs the identical IEEE operations as one shot.
+    """
+    n, dim = x.shape
+    k = centroids.shape[0]
+    out = np.empty((n, k), dtype=x.dtype)
+    step = max(1, _CHUNK_ELEMS // max(1, k * dim))
+    for start in range(0, n, step):
+        chunk = x[start : start + step]
+        diffs = chunk[:, None, :] - centroids[None, :, :]
+        out[start : start + step] = np.einsum("nkd,nkd->nk", diffs, diffs)
+    return out

@@ -60,9 +60,17 @@ class Request:
         this models that estimate as ground truth plus encoder-style noise
         that is a pure function of the request id.
         """
-        rng = make_rng(stable_hash("difficulty-estimate", self.request_id))
-        est = self.difficulty + rng.normal(0.0, noise)
-        return float(min(1.0, max(0.0, est)))
+        memo = self.__dict__.get("_difficulty_memo")
+        if memo is None:
+            memo = {}
+            self.__dict__["_difficulty_memo"] = memo
+        got = memo.get(noise)
+        if got is None:
+            rng = make_rng(stable_hash("difficulty-estimate", self.request_id))
+            est = self.difficulty + rng.normal(0.0, noise)
+            got = float(min(1.0, max(0.0, est)))
+            memo[noise] = got
+        return got
 
     @property
     def plaintext_bytes(self) -> int:

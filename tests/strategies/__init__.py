@@ -21,6 +21,10 @@ from tests.strategies.settings import (
     SCENARIO,
     STANDARD,
 )
+from tests.strategies.vectors import (
+    VectorPool,
+    vector_pools,
+)
 from tests.strategies.workload import (
     adversarial_traces,
     chaos_windows,
@@ -46,4 +50,6 @@ __all__ = [
     "composite_traces",
     "adversarial_traces",
     "chaos_windows",
+    "VectorPool",
+    "vector_pools",
 ]

@@ -34,7 +34,7 @@ class TestRegistry:
         assert len(rule_classes()) >= 8
 
     def test_expected_codes_present(self):
-        expected = {"DET001", "DET002", "DET003", "DET004",
+        expected = {"DET001", "DET002", "DET003", "DET004", "DET005",
                     "WAL001", "WAL002", "ARCH001", "ARCH002"}
         assert expected <= set(rule_classes())
 
@@ -165,6 +165,39 @@ class TestDET004DictMutation:
             "    d.pop(k)\n"
         ))
         assert "DET004" not in codes(found)
+
+
+class TestDET005ImplicitFloat64:
+    def test_fires_on_dtypeless_constructors_in_vectorstore(self, tmp_path):
+        found = lint_source(tmp_path, "src/repro/vectorstore/x.py", (
+            "import numpy as np\n"
+            "from numpy import zeros\n"
+            "a = np.array([1.0, 2.0])\n"
+            "b = np.zeros(8)\n"
+            "c = np.empty((4, 4))\n"
+            "d = np.full((2, 2), 0.5)\n"
+            "e = zeros(3)\n"
+        ))
+        assert codes(found).count("DET005") == 5
+
+    def test_quiet_when_dtype_is_pinned(self, tmp_path):
+        found = lint_source(tmp_path, "src/repro/vectorstore/x.py", (
+            "import numpy as np\n"
+            "a = np.array([1.0], dtype=np.float32)\n"
+            "b = np.zeros(8, np.float32)\n"          # positional dtype
+            "c = np.full((2, 2), 0.5, np.float32)\n"
+            "d = np.asarray([1.0])\n"                # converter, not allocator
+            "e = np.ascontiguousarray(a)\n"
+        ))
+        assert "DET005" not in codes(found)
+
+    def test_quiet_outside_the_vectorstore_package(self, tmp_path):
+        found = lint_source(tmp_path, "src/repro/core/x.py", (
+            "import numpy as np\n"
+            "a = np.array([1.0, 2.0])\n"
+            "b = np.zeros(8)\n"
+        ))
+        assert "DET005" not in codes(found)
 
 
 _CACHE_PREAMBLE = "class MyExampleCache:\n"

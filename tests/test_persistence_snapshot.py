@@ -125,6 +125,26 @@ class TestIVFIndexRoundtrip:
         assert _hits(index.search(query, 5)) == _hits(restored.search(query, 5))
         assert index.trainings == restored.trainings > trainings_before
 
+    def test_incremental_retrain_identical_after_restore(self):
+        """The WAL-replay contract at scale: with the pool above
+        ``incremental_min_n``, a forced retrain takes the split/merge path,
+        whose schedule must be a pure function of journaled state — so the
+        restored copy must reproduce centroids and blocks bit-identically."""
+        index = _churned_index(IVFIndex, nprobe=3, min_train_size=64, seed=4,
+                               incremental_min_n=80)
+        restored = IVFIndex.from_state(_json_roundtrip(index.to_state()))
+        for copy in (index, restored):
+            for i, vec in enumerate(_vectors(40, seed=9)):
+                copy.add(("inc", i), vec)
+            assert len(copy._flat) >= copy.incremental_min_n
+            assert copy.retrain()
+        assert index.trainings == restored.trainings
+        assert np.array_equal(index._centroids, restored._centroids)
+        assert len(index._blocks) == len(restored._blocks)
+        for a, b in zip(index._blocks, restored._blocks):
+            assert a.keys == b.keys
+            assert np.array_equal(a.view(), b.view())
+
     def test_untrained_index_roundtrips(self):
         index = IVFIndex(dim=DIM, min_train_size=64)
         for i, vec in enumerate(_vectors(10)):

@@ -1,0 +1,321 @@
+"""Float32 storage determinism and the scale-gated search paths.
+
+The PR-3 equivalence suite (``test_vectorstore_equivalence.py``) pins the
+vectorized trained search against a per-key reference on fixed pools; this
+file generalizes those pins into Hypothesis properties over adversarial
+pools (bit-exact duplicates, varying dims/sizes — ``tests/strategies/
+vectors.py``) and covers the scale features the float32 overhaul added:
+
+* float32 block scores are bit-equal to a per-key float32 loop, and within
+  narrowing tolerance of exact float64 cosine;
+* exact ties — bit-identical duplicate vectors — keep loop-order
+  tie-breaking wherever they sit in the blocks, including the ``k == 1``
+  argmax fast path;
+* the int8 coarse + exact-rescore two-pass search preserves recall@5
+  against single-pass within the configured bound (and exactly, when the
+  rescore depth covers the probed set);
+* incremental split/merge retrains hold recall@5 close to a global
+  K-Means retrain under the maintenance-tick churn regime;
+* ``KMeans.fit`` consumes the index's cached storage view without copying.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.vectorstore.flat import STORAGE_DTYPE, FlatIndex, SearchResult
+from repro.vectorstore.ivf import IVFIndex
+from repro.vectorstore.kmeans import KMeans
+
+from tests.strategies import DETERMINISM, STANDARD, VectorPool, vector_pools
+
+DIM = 32
+
+
+def build_index(pool: VectorPool, **kwargs) -> IVFIndex:
+    index = IVFIndex(dim=pool.dim, nprobe=kwargs.pop("nprobe", 3),
+                     min_train_size=64, seed=0, **kwargs)
+    for row, vec in enumerate(pool.vectors):
+        index.add(row, vec)
+    index.search(pool.vectors[0], 1)  # settle the lazy train
+    assert index.is_trained
+    return index
+
+
+def reference_search(index: IVFIndex, query: np.ndarray,
+                     k: int) -> list[SearchResult]:
+    """Per-key float32 scoring loop: probe clusters in descending centroid
+    score, walk rows in block order, stable-sort by score.  The semantics —
+    scores to the last bit, ordering including ties — the vectorized path
+    (and its ``k == 1`` argmax fast path) must reproduce exactly."""
+    q = np.asarray(query, dtype=np.float64).reshape(-1)
+    qnorm = float(np.linalg.norm(q))
+    if qnorm <= 0 or k <= 0:
+        return []
+    q = q / qnorm
+    nprobe = min(index.nprobe, index.n_clusters)
+    probe = np.argsort(-(index._centroids @ q))[:nprobe]
+    q32 = q.astype(STORAGE_DTYPE)
+    candidates = [
+        SearchResult(key, float(np.einsum(
+            "j,j->", index._blocks[cluster].view()[row], q32)))
+        for cluster in probe
+        for row, key in enumerate(index._blocks[cluster].keys)
+    ]
+    order = np.argsort([-c.score for c in candidates], kind="stable")
+    return [candidates[i] for i in order[:k]]
+
+
+class TestFloat32SearchProperties:
+    @given(pool=vector_pools())
+    @settings(**DETERMINISM)
+    def test_trained_search_matches_per_key_reference(self, pool):
+        index = build_index(pool)
+        for query in pool.queries(4):
+            for k in (1, 5, 12):
+                got = index.search(query, k)
+                want = reference_search(index, query, k)
+                assert [(r.key, r.score) for r in got] \
+                    == [(r.key, r.score) for r in want]
+
+    @given(pool=vector_pools(min_duplicates=3))
+    @settings(**DETERMINISM)
+    def test_duplicate_rows_score_bit_identically(self, pool):
+        """Bit-exact duplicate vectors must get bit-equal scores regardless
+        of which block row (or cluster block) they landed in, and tied
+        results must appear in reference loop order."""
+        index = build_index(pool, nprobe=6)
+        for query in pool.queries(3):
+            hits = index.search(query, pool.n)
+            by_key = {r.key: r.score for r in hits}
+            for src, rows in pool.duplicate_groups.items():
+                returned = [row for row in rows if row in by_key]
+                scores = {by_key[row] for row in returned}
+                assert len(scores) <= 1, \
+                    f"duplicates of row {src} scored differently: {scores}"
+
+    @given(pool=vector_pools())
+    @settings(**STANDARD)
+    def test_float32_scores_track_float64_cosine(self, pool):
+        """Storage narrows float64 input to float32: scores agree with the
+        exact float64 cosine to narrowing tolerance (the documented place
+        float32 is *allowed* to differ — ordering of near-ties within that
+        tolerance may legitimately change vs a float64 index)."""
+        index = build_index(pool)
+        for query in pool.queries(3):
+            q = query / np.linalg.norm(query)
+            for hit in index.search(query, 8):
+                exact = float(
+                    np.asarray(pool.vectors[hit.key], dtype=np.float64) @ q
+                )
+                assert abs(hit.score - exact) < 5e-6
+
+    @given(pool=vector_pools(min_duplicates=2))
+    @settings(**DETERMINISM)
+    def test_two_pass_with_full_depth_matches_single_pass(self, pool):
+        """With rescore depth covering the whole pool, the coarse pass can
+        only reorder candidates *between* exact ties; scores and the hit
+        set must match single-pass exactly, and bit-identical duplicates
+        keep a deterministic order through both stable sorts."""
+        index = build_index(pool, nprobe=4, two_pass_min_n=1,
+                            rescore_depth=pool.n)
+        assert index.two_pass_active
+        for query in pool.queries(3):
+            two = index.search(query, 10)
+            index.two_pass_min_n = None
+            one = index.search(query, 10)
+            index.two_pass_min_n = 1
+            # Same scores in the same order...
+            assert [r.score for r in two] == [r.score for r in one]
+            # ...and the same keys at every strictly-ordered rank; keys may
+            # swap only inside an exact-tie run (two candidates whose
+            # float32 scores are bit-equal but quantizations differ).
+            scores = [r.score for r in one]
+            for i, (a, b) in enumerate(zip(two, one)):
+                tied = (i > 0 and scores[i - 1] == scores[i]) or (
+                    i + 1 < len(scores) and scores[i + 1] == scores[i])
+                if not tied:
+                    assert a.key == b.key
+
+
+class TestTwoPassRecall:
+    def _clustered(self, n, seed, n_topics=24):
+        rng = np.random.default_rng(seed)
+        centers = rng.normal(size=(n_topics, DIM))
+        centers /= np.linalg.norm(centers, axis=1, keepdims=True)
+        vecs = centers[rng.integers(0, n_topics, size=n)]
+        vecs = vecs + rng.normal(0.0, 0.15, size=(n, DIM))
+        return vecs / np.linalg.norm(vecs, axis=1, keepdims=True)
+
+    def test_rescore_depth_keeps_recall_within_one_percent(self):
+        """The acceptance bound the default ``rescore_depth`` is sized for:
+        two-pass recall@5 within 1% of single-pass on a clustered pool."""
+        index = IVFIndex(dim=DIM, nprobe=4, min_train_size=64, seed=0,
+                         two_pass_min_n=500, rescore_depth=64)
+        for row, vec in enumerate(self._clustered(2000, seed=0)):
+            index.add(row, vec)
+        index.search(index.get_vector(0), 1)
+        assert index.two_pass_active
+
+        queries = self._clustered(40, seed=1)
+        two = [{r.key for r in index.search(q, 5)} for q in queries]
+        index.two_pass_min_n = None
+        one = [{r.key for r in index.search(q, 5)} for q in queries]
+        overlap = sum(len(a & b) for a, b in zip(two, one)) / (40 * 5)
+        assert overlap >= 0.99
+
+    def test_two_pass_only_activates_above_threshold(self):
+        index = IVFIndex(dim=DIM, two_pass_min_n=10_000)
+        for row, vec in enumerate(self._clustered(200, seed=2)):
+            index.add(row, vec)
+        assert not index.two_pass_active  # below threshold: single-pass
+        index.two_pass_min_n = None
+        assert not index.two_pass_active  # disabled: never active
+
+
+class TestIncrementalRetrainRecall:
+    N = 3000
+    TICKS = 5
+
+    def _build(self, incremental_min_n: int) -> IVFIndex:
+        rng_pool = TestTwoPassRecall()
+        index = IVFIndex(dim=DIM, nprobe=8, min_train_size=64, seed=0,
+                         incremental_min_n=incremental_min_n)
+        base = rng_pool._clustered(self.N, seed=2)
+        for row, vec in enumerate(base):
+            index.add(row, vec)
+        index.search(base[0], 1)  # first train is global either way
+        spare = rng_pool._clustered(self.N, seed=3)
+        si = 0
+        for tick in range(self.TICKS):  # the bench's 1%-churn tick regime
+            m = self.N // 100
+            for i in range(m):
+                index.add(("churn", tick, i), spare[si])
+                si += 1
+            for i in range(0, m, 2):
+                index.remove(("churn", tick, i))
+            assert index.retrain()
+        return index
+
+    @staticmethod
+    def _recall_vs_flat(index: IVFIndex, queries: np.ndarray) -> float:
+        flat = FlatIndex(index.dim)
+        for key in index._flat.keys:
+            flat.add(key, index.get_vector(key))
+        hits = sum(
+            len({r.key for r in index.search(q, 5)}
+                & {r.key for r in flat.search(q, 5)})
+            for q in queries
+        )
+        return hits / (queries.shape[0] * 5)
+
+    def test_incremental_recall_stays_close_to_global(self):
+        incremental = self._build(incremental_min_n=1000)
+        control = self._build(incremental_min_n=10**9)
+        assert incremental.trainings == control.trainings == self.TICKS + 1
+
+        queries = TestTwoPassRecall()._clustered(40, seed=4)
+        r_inc = self._recall_vs_flat(incremental, queries)
+        r_glo = self._recall_vs_flat(control, queries)
+        # Measured on this seeded scenario: 0.880 incremental, 0.920 global.
+        assert r_inc >= r_glo - 0.05
+        assert r_inc >= 0.85
+
+    def test_incremental_path_splits_and_retires_clusters(self):
+        index = self._build(incremental_min_n=1000)
+        control = self._build(incremental_min_n=10**9)
+        # The split/merge schedule must actually maintain cluster count near
+        # sqrt(N), not let it drift monotonically.
+        assert 0.5 * control.n_clusters <= index.n_clusters \
+            <= 2.0 * control.n_clusters
+
+
+class TestIncrementalRetrainBookkeeping:
+    """The O(1)-per-tick bookkeeping behind the N=1M amortization gate.
+
+    Incremental retrain no longer rebuilds the full key→cluster map or
+    re-reads every block to recenter; these invariants pin what the cheap
+    paths must preserve instead.
+    """
+
+    def _churned(self) -> IVFIndex:
+        return TestIncrementalRetrainRecall()._build(incremental_min_n=1000)
+
+    def test_key_map_matches_blocks_after_split_retire_ticks(self):
+        index = self._churned()
+        expected = {
+            key: ci
+            for ci, block in enumerate(index._blocks)
+            for key in block.keys
+        }
+        assert index._key_to_cluster == expected
+        # ...and stays serviceable: every key removable through the map.
+        for key in list(index._flat.keys)[:50]:
+            index.remove(key)
+        assert len(index._flat) == len(index._key_to_cluster)
+
+    def test_running_sum_tracks_rows_through_churn(self):
+        index = self._churned()
+        for block in index._blocks:
+            fresh = block.view().sum(axis=0, dtype=np.float64)
+            np.testing.assert_allclose(block.running_sum, fresh,
+                                       rtol=1e-9, atol=1e-7)
+
+    def test_fresh_block_sum_is_bitwise_pairwise_reduction(self):
+        index = self._churned()
+        state = index.to_state()
+        for saved, block in zip(state["blocks"], index._blocks):
+            # The serialized sum is the maintained one, bit-for-bit...
+            assert np.array_equal(saved["sum"], block.running_sum)
+        restored = IVFIndex.from_state(state)
+        for a, b in zip(index._blocks, restored._blocks):
+            # ...and restore inherits it exactly (no recompute drift).
+            assert np.array_equal(a.running_sum, b.running_sum)
+
+    def test_legacy_state_without_sums_recomputes(self):
+        index = self._churned()
+        state = index.to_state()
+        for block in state["blocks"]:
+            del block["sum"]
+        restored = IVFIndex.from_state(state)
+        for block in restored._blocks:
+            fresh = block.view().sum(axis=0, dtype=np.float64)
+            assert np.array_equal(block.running_sum, fresh)
+
+
+class TestKMeansConsumesStorageView:
+    def test_global_retrain_fits_on_the_cached_view_no_copy(self, monkeypatch):
+        pool = TestTwoPassRecall()._clustered(300, seed=5)
+        index = IVFIndex(dim=DIM, min_train_size=64, seed=0)
+        for row, vec in enumerate(pool):
+            index.add(row, vec)
+
+        seen: list[np.ndarray] = []
+        original_fit = KMeans.fit
+
+        def spy(self, data):
+            seen.append(data)
+            return original_fit(self, data)
+
+        monkeypatch.setattr(KMeans, "fit", spy)
+        assert index.retrain()
+        assert seen, "retrain must call KMeans.fit"
+        trained_on = seen[0]
+        # The exact cached storage view: float32, zero-copy into the flat
+        # matrix — not np.array(matrix) (which doubled peak memory).
+        assert trained_on.dtype == STORAGE_DTYPE
+        assert trained_on.base is index._flat._vectors
+        assert not trained_on.flags.owndata
+
+    def test_fit_preserves_float32_without_upcast(self):
+        data = np.random.default_rng(0).normal(
+            size=(200, 8)).astype(np.float32)
+        result = KMeans(n_clusters=4, seed=0).fit(data)
+        assert result.centroids.dtype == np.float32
+        assert result.labels.shape == (200,)
+
+    def test_fit_still_accepts_and_upcasts_integer_data(self):
+        data = np.arange(40, dtype=np.int64).reshape(20, 2)
+        result = KMeans(n_clusters=2, seed=0).fit(data)
+        assert result.centroids.dtype == np.float64
