@@ -20,13 +20,20 @@ exercise per request, at three levels:
   restore throughput (examples/sec and bytes) at the standard serve-bench
   bank size, so checkpointing cost rides the same recorded trajectory as
   the serve hot path (see ``docs/PERSISTENCE.md``);
+* **lifecycle** — the Example Manager's columnar hot paths over the
+  struct-of-arrays :class:`~repro.core.table.ExampleTable`: vectorized
+  gain decay (us/maintenance tick), one over-budget knapsack eviction
+  pass (us/pass), and the cache-level columnar snapshot roundtrip
+  (examples/sec), at N=10k and N=50k synthetic pools;
 * **memory** — resident bytes per vector for the flat storage and the IVF
   cluster blocks (measured via ``nbytes``, not estimated), recorded per
   pool size so a dtype regression (float32 silently upcast back to
   float64) doubles a gated number instead of hiding;
 * **scale** (``REPRO_PERF_FULL=1`` or ``--full``) — the N=1M story: build,
-  two-pass int8+rescore search vs exact flat recall@5, and steady-state
-  incremental-retrain amortization per maintenance tick.
+  two-pass int8+rescore search vs exact flat recall@5, steady-state
+  incremental-retrain amortization per maintenance tick, and (under
+  ``scale.pool``) the lifecycle bench at a 1M-example pool, gating the
+  bulk-array restore rate and the maintenance-tick decay at full scale.
 
 Results are written to ``BENCH_serve_hotpath.json`` so every future perf PR
 is measured against a recorded trajectory, and ``--check`` gates CI against
@@ -59,7 +66,7 @@ from repro.vectorstore.ivf import IVFIndex
 DIM = 64
 TOP_K = 5
 N_TOPICS = 50
-SCHEMA = "serve_hotpath/v2"
+SCHEMA = "serve_hotpath/v3"
 
 
 def clustered_vectors(n: int, dim: int = DIM, n_topics: int = N_TOPICS,
@@ -336,6 +343,143 @@ def bench_persistence(bank: int = 800, n_requests: int = 100,
         }
 
 
+def _synthetic_pool(n: int, seed: int = 0):
+    """An :class:`ExampleCache` of ``n`` synthetic examples, direct adds.
+
+    No service in the loop: the lifecycle bench isolates the Example
+    Manager's own hot paths, so the pool is built straight against the
+    cache (which attaches every example to its columnar table).  Gain and
+    access statistics are seeded so decay and the eviction knapsack have
+    non-degenerate values to work over.
+    """
+    from repro.core.cache import ExampleCache
+    from repro.core.example import Example
+    from repro.workload.request import Request, TaskType
+
+    cache = ExampleCache(dim=DIM)
+    rng = np.random.default_rng(seed)
+    for base, chunk in _scale_vectors(n, seed=seed):
+        gains = rng.random(chunk.shape[0])
+        accesses = rng.integers(0, 20, size=chunk.shape[0])
+        for i in range(chunk.shape[0]):
+            k = base + i
+            request = Request(
+                request_id=f"life-{k}",
+                dataset="ms_marco",
+                task=TaskType.QUESTION_ANSWERING,
+                text=f"synthetic lifecycle request {k} probing topic "
+                     f"{k % N_TOPICS} with a plausible sentence length",
+                latent=chunk[i],
+                topic_id=int(k % N_TOPICS),
+                difficulty=0.5,
+                prompt_tokens=24,
+                target_output_tokens=48,
+            )
+            example = Example(
+                example_id=f"ex-life-{k}",
+                request=request,
+                response_text=f"synthetic lifecycle response {k}: "
+                              + "token " * 10,
+                embedding=chunk[i],
+                quality=0.7,
+                source_model="gemma-2-27b",
+                source_cost=1.0,
+                created_at=0.0,
+                access_count=int(accesses[i]),
+            )
+            example.offload_gain.update(float(gains[i]))
+            example.gain_ema.update(float(gains[i]))
+            cache.add(example)
+    return cache
+
+
+def bench_lifecycle(n: int, seed: int = 0, decay_ticks: int = 10) -> dict:
+    """Example Manager lifecycle hot paths at pool size ``n``.
+
+    Three numbers per pool size, all running over the columnar
+    :class:`~repro.core.table.ExampleTable` behind the cache:
+
+    * **decay** — :meth:`ExampleManager.apply_decay` with exactly one whole
+      decay period elapsed per tick: one vectorized ``*= factor`` over the
+      two gain columns (the maintenance tick's fixed cost);
+    * **save/restore** — the cache-level columnar snapshot roundtrip:
+      ``cache_state`` → sidecar encode → JSON string, then JSON parse →
+      copy-on-write sidecar decode → ``restore_cache_state`` into a fresh
+      cache.  This is the example-pool half of a warm restart (the
+      ``persistence`` section measures the full service on top);
+    * **evict** — one over-budget :meth:`ExampleManager.enforce_capacity`
+      knapsack pass with the byte budget set to 70% of the pool.  The pass
+      is destructive (it evicts), so it runs last.
+    """
+    import tempfile
+
+    from repro.core.cache import ExampleCache
+    from repro.core.config import ManagerConfig
+    from repro.core.manager import ExampleManager
+    from repro.persistence.snapshot import (
+        SidecarBuilder,
+        SidecarReader,
+        _decode,
+        _encode,
+        cache_state,
+        restore_cache_state,
+    )
+    from repro.utils.clock import SimClock
+
+    cache = _synthetic_pool(n, seed=seed)
+    clock = SimClock()
+    manager = ExampleManager(cache, ManagerConfig(sanitize=False),
+                             clock=clock)
+
+    start = time.perf_counter()
+    for _ in range(decay_ticks):
+        clock.advance(manager.config.decay_period_s)
+        manager.apply_decay()
+    decay_s = time.perf_counter() - start
+
+    builder = SidecarBuilder()
+    start = time.perf_counter()
+    doc = json.dumps(_encode(cache_state(cache), builder))
+    blob = builder.tobytes()
+    save_s = time.perf_counter() - start
+
+    with tempfile.TemporaryDirectory(prefix="bench_lifecycle_") as tmpdir:
+        bin_path = Path(tmpdir) / "pool.bin"
+        bin_path.write_bytes(blob)
+
+        def restore():
+            state = _decode(json.loads(doc), SidecarReader(bin_path))
+            fresh = ExampleCache(dim=DIM)
+            restore_cache_state(fresh, state)
+            assert len(fresh) == n
+
+        t_restore = _best_of(restore)
+
+    evictor = ExampleManager(
+        cache,
+        ManagerConfig(sanitize=False,
+                      capacity_bytes=int(cache.total_bytes * 0.7)),
+        clock=clock,
+    )
+    start = time.perf_counter()
+    evicted = evictor.enforce_capacity()
+    evict_s = time.perf_counter() - start
+    assert evicted > 0, "eviction pass must actually run the knapsack"
+
+    return {
+        "n": n,
+        "decay_ticks": decay_ticks,
+        "decay_us_per_tick": decay_s / decay_ticks * 1e6,
+        "snapshot_bytes": len(doc) + len(blob),
+        "save_s": save_s,
+        "save_examples_per_s": n / save_s,
+        "restore_s": t_restore,
+        "restore_examples_per_s": n / t_restore,
+        "evicted": evicted,
+        "evict_us_per_pass": evict_s * 1e6,
+    }
+
+
 def bench_memory(index: IVFIndex) -> dict:
     """Resident bytes per vector, measured via ``nbytes`` on live storage.
 
@@ -453,9 +597,12 @@ def bench_scale(n: int = 1_000_000, seed: int = 0, n_queries: int = 200,
 
 
 def run(sizes: list[int], serve_banks: list[int] | None = None,
-        out_path: str | Path | None = None, full: bool = False) -> dict:
+        out_path: str | Path | None = None, full: bool = False,
+        lifecycle_sizes: list[int] | None = None) -> dict:
     """Run the full harness and (optionally) write the BENCH artifact."""
     serve_banks = serve_banks if serve_banks else [800]
+    lifecycle_sizes = (lifecycle_sizes if lifecycle_sizes
+                       else [10_000, 50_000])
     results = {
         "schema": SCHEMA,
         "created_unix": time.time(),
@@ -470,6 +617,7 @@ def run(sizes: list[int], serve_banks: list[int] | None = None,
         "serve": {str(bank): bench_serve(bank=bank) for bank in serve_banks},
         "runtime": bench_runtime(),
         "persistence": bench_persistence(bank=min(serve_banks)),
+        "lifecycle": {str(n): bench_lifecycle(n) for n in lifecycle_sizes},
     }
     for n in sizes:
         # One build (and one K-Means train) per size, shared by the benches;
@@ -481,6 +629,9 @@ def run(sizes: list[int], serve_banks: list[int] | None = None,
         results["churn"][str(n)] = bench_churn(n, built=built)
     if full:
         results["scale"] = bench_scale()
+        # The N=1M pool: fewer decay ticks — each is one vectorized multiply
+        # over 1M-row columns, and the pool build dominates the wall clock.
+        results["scale"]["pool"] = bench_lifecycle(1_000_000, decay_ticks=3)
     if out_path is not None:
         Path(out_path).write_text(json.dumps(results, indent=2) + "\n",
                                   encoding="utf-8")
@@ -544,6 +695,31 @@ def check_against_baseline(results: dict, baseline: dict,
                 f"persistence {label} regressed: {got:.0f} ex/s < "
                 f"{floor:.0%} of baseline {base_val:.0f} ex/s"
             )
+    # Lifecycle: decay and eviction are *times* (bigger = regression),
+    # restore is a throughput floor like the persistence rows.
+    for n, base in baseline.get("lifecycle", {}).items():
+        current = results.get("lifecycle", {}).get(n)
+        if current is None:
+            continue
+        for key, label in (("decay_us_per_tick", "lifecycle decay tick"),
+                           ("evict_us_per_pass", "lifecycle eviction pass")):
+            base_val = base.get(key)
+            if not base_val:
+                continue
+            got = current.get(key, 0.0)
+            if got > ceiling * base_val:
+                failures.append(
+                    f"{label} at N={n} regressed: {got:.0f} us > "
+                    f"{ceiling:.0%} of baseline {base_val:.0f} us"
+                )
+        base_val = base.get("restore_examples_per_s")
+        if base_val:
+            got = current.get("restore_examples_per_s", 0.0)
+            if got < floor * base_val:
+                failures.append(
+                    f"lifecycle restore at N={n} regressed: {got:.0f} ex/s "
+                    f"< {floor:.0%} of baseline {base_val:.0f} ex/s"
+                )
     # Retrain amortization: a *time*, so regression means slower, not lower.
     for n, base in baseline.get("churn", {}).items():
         current = results.get("churn", {}).get(n)
@@ -573,6 +749,25 @@ def check_against_baseline(results: dict, baseline: dict,
                 f"{got_scale['two_pass_us_per_query']:.0f} us/q > "
                 f"{ceiling:.0%} of baseline {base_val:.0f} us/q"
             )
+        base_pool = base_scale.get("pool")
+        got_pool = got_scale.get("pool")
+        if base_pool and got_pool:
+            base_val = base_pool.get("restore_examples_per_s")
+            if base_val and got_pool.get("restore_examples_per_s", 0.0) \
+                    < floor * base_val:
+                failures.append(
+                    f"N=1M pool restore regressed: "
+                    f"{got_pool['restore_examples_per_s']:.0f} ex/s < "
+                    f"{floor:.0%} of baseline {base_val:.0f} ex/s"
+                )
+            base_val = base_pool.get("decay_us_per_tick")
+            if base_val and got_pool.get("decay_us_per_tick", 0.0) \
+                    > ceiling * base_val:
+                failures.append(
+                    f"N=1M maintenance decay tick regressed: "
+                    f"{got_pool['decay_us_per_tick']:.0f} us > "
+                    f"{ceiling:.0%} of baseline {base_val:.0f} us"
+                )
     return failures
 
 
@@ -608,6 +803,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--serve-banks", type=int, nargs="+",
                         default=[800, 50_000],
                         help="seeded example-bank sizes for the serve bench")
+    parser.add_argument("--lifecycle-sizes", type=int, nargs="+",
+                        default=[10_000, 50_000],
+                        help="synthetic pool sizes for the lifecycle bench")
     parser.add_argument("--full", action="store_true",
                         help="also run the N=1M scale bench "
                              "(REPRO_PERF_FULL=1 implies this)")
@@ -621,7 +819,8 @@ def main(argv: list[str] | None = None) -> int:
     full = args.full or os.environ.get("REPRO_PERF_FULL") == "1"
 
     results = run(args.sizes, serve_banks=args.serve_banks,
-                  out_path=args.out, full=full)
+                  out_path=args.out, full=full,
+                  lifecycle_sizes=args.lifecycle_sizes)
     for n, row in results["search"].items():
         print(f"search  N={n:>6}: {row['vectorized_us_per_query']:8.1f} us/q "
               f"({row['qps']:8.0f} qps), {row['speedup_vs_loop']:5.1f}x vs "
@@ -646,6 +845,11 @@ def main(argv: list[str] | None = None) -> int:
           f"({runtime['n_events']} no-op dispatches), sim serving: "
           f"{runtime['sim_requests_per_s']:,.0f} req/s "
           f"({runtime['n_sim_requests']} requests)")
+    for n, row in results["lifecycle"].items():
+        print(f"lifecyc N={n:>7}: decay {row['decay_us_per_tick']:8.1f} "
+              f"us/tick, evict {row['evict_us_per_pass'] / 1e3:8.1f} ms/pass "
+              f"({row['evicted']} evicted), restore "
+              f"{row['restore_examples_per_s']:,.0f} ex/s")
     persist = results["persistence"]
     print(f"persist snapshot: {persist['snapshot_bytes'] / 1024:.0f} KiB, "
           f"save {persist['save_s'] * 1e3:.0f} ms "
@@ -662,6 +866,13 @@ def main(argv: list[str] | None = None) -> int:
               f"recall@5={scale['recall_at_5_vs_flat']:.3f}, retrain "
               f"{scale['retrain_s_per_tick'] * 1e3:.0f} ms/tick "
               f"(worst {scale['retrain_s_worst_tick'] * 1e3:.0f} ms)")
+        pool = scale.get("pool")
+        if pool:
+            print(f"scale   pool N={pool['n']:,}: decay "
+                  f"{pool['decay_us_per_tick'] / 1e3:.1f} ms/tick, evict "
+                  f"{pool['evict_us_per_pass'] / 1e6:.1f} s/pass "
+                  f"({pool['evicted']} evicted), restore "
+                  f"{pool['restore_examples_per_s']:,.0f} ex/s")
     print(f"wrote {args.out}")
 
     if args.check:

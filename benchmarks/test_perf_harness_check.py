@@ -16,16 +16,24 @@ import perf_harness
 
 def _results(serve_qps: float = 1000.0, search_qps: float = 50_000.0,
              restore_per_s: float = 1e4, retrain_s: float = 1.0,
-             tick_s: float = 0.05) -> dict:
+             tick_s: float = 0.05, decay_us: float = 100.0,
+             evict_us: float = 1e4, lifecycle_restore: float = 2e5,
+             pool_restore: float = 2e5, pool_decay_us: float = 2e3) -> dict:
     return {
         "serve": {"800": {"qps": serve_qps}},
         "search": {"1000": {"qps": search_qps}},
         "runtime": {"events_per_s": 1e6, "sim_requests_per_s": 1e4},
         "persistence": {"save_examples_per_s": 1e4,
                         "restore_examples_per_s": restore_per_s},
+        "lifecycle": {"10000": {"decay_us_per_tick": decay_us,
+                                "evict_us_per_pass": evict_us,
+                                "restore_examples_per_s":
+                                    lifecycle_restore}},
         "churn": {"1000": {"retrain_s": retrain_s}},
         "scale": {"retrain_s_per_tick": tick_s,
-                  "two_pass_us_per_query": 100.0},
+                  "two_pass_us_per_query": 100.0,
+                  "pool": {"restore_examples_per_s": pool_restore,
+                           "decay_us_per_tick": pool_decay_us}},
     }
 
 
@@ -117,6 +125,69 @@ class TestPresentBaseline:
             _results(tick_s=0.20), baseline)
         assert code == 1
         assert "N=1M retrain amortization" in capsys.readouterr().out
+
+    def test_fails_on_lifecycle_decay_regression(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(_results(decay_us=100.0)),
+                            encoding="utf-8")
+        code = perf_harness.run_baseline_gate(
+            _results(decay_us=200.0), baseline)
+        assert code == 1
+        assert "lifecycle decay tick at N=10000" in capsys.readouterr().out
+
+    def test_fails_on_lifecycle_eviction_regression(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(_results(evict_us=1e4)),
+                            encoding="utf-8")
+        code = perf_harness.run_baseline_gate(
+            _results(evict_us=2e4), baseline)
+        assert code == 1
+        assert "lifecycle eviction pass at N=10000" in \
+            capsys.readouterr().out
+
+    def test_fails_on_lifecycle_restore_regression(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(_results(lifecycle_restore=2e5)),
+                            encoding="utf-8")
+        code = perf_harness.run_baseline_gate(
+            _results(lifecycle_restore=1e5), baseline)
+        assert code == 1
+        assert "lifecycle restore at N=10000" in capsys.readouterr().out
+
+    def test_fails_on_scale_pool_restore_regression(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(_results(pool_restore=2e5)),
+                            encoding="utf-8")
+        code = perf_harness.run_baseline_gate(
+            _results(pool_restore=1e5), baseline)
+        assert code == 1
+        assert "N=1M pool restore" in capsys.readouterr().out
+
+    def test_fails_on_scale_pool_decay_regression(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(_results(pool_decay_us=2e3)),
+                            encoding="utf-8")
+        code = perf_harness.run_baseline_gate(
+            _results(pool_decay_us=4e3), baseline)
+        assert code == 1
+        assert "N=1M maintenance decay tick" in capsys.readouterr().out
+
+    def test_lifecycle_rows_skipped_when_absent(self, tmp_path):
+        """A run without the lifecycle section (or a pre-v3 baseline
+        without one) must not trip the new gates."""
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(_results()), encoding="utf-8")
+        smoke = _results()
+        del smoke["lifecycle"]
+        del smoke["scale"]["pool"]
+        assert perf_harness.run_baseline_gate(smoke, baseline) == 0
+        old = _results()
+        del old["lifecycle"]
+        del old["scale"]["pool"]
+        (tmp_path / "old.json").write_text(json.dumps(old),
+                                           encoding="utf-8")
+        assert perf_harness.run_baseline_gate(
+            _results(), tmp_path / "old.json") == 0
 
     def test_scale_rows_skipped_when_absent(self, tmp_path):
         """A smoke run (no --full) has no scale section; the baseline's

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class KnapsackItem:
@@ -59,6 +61,65 @@ def solve_knapsack(
         chosen = _solve_dp(weighted, capacity)
     else:
         chosen = _solve_greedy(weighted, capacity)
+    return free | chosen
+
+
+def solve_knapsack_arrays(keys: list, weights: np.ndarray, values: np.ndarray,
+                          capacity: int, exact: bool = False) -> set[object]:
+    """Column-oriented :func:`solve_knapsack`: same answer, no item objects.
+
+    ``weights``/``values`` are parallel arrays (one slot per key), e.g.
+    fancy-indexed straight out of an :class:`repro.core.table.ExampleTable`.
+    The greedy path ranks with one stable ``lexsort`` whose ordering —
+    density desc, value desc, original position asc — is exactly what the
+    item-based solver's stable ``sorted(..., reverse=True)`` produces, so
+    the kept set is identical item for item.  The exact path materializes
+    items and delegates to the DP solver (it only runs on small pools).
+    """
+    if capacity < 0:
+        raise ValueError(f"capacity must be non-negative, got {capacity}")
+    if len(set(keys)) != len(keys):
+        raise ValueError("knapsack items must have unique keys")
+    weights = np.asarray(weights)
+    values = np.asarray(values, dtype=np.float64)
+    if weights.shape != (len(keys),) or values.shape != (len(keys),):
+        raise ValueError("keys/weights/values must be parallel 1-D arrays")
+    if (weights < 0).any() or (values < 0).any():
+        bad = int(np.argmax((weights < 0) | (values < 0)))
+        raise ValueError(f"negative weight/value for {keys[bad]}")
+
+    free = {keys[i] for i in np.flatnonzero(weights == 0)}
+    weighted = np.flatnonzero(weights > 0)
+    if weighted.size == 0 or capacity == 0:
+        return free
+
+    if exact:
+        items = [KnapsackItem(key=keys[i], weight=int(weights[i]),
+                              value=float(values[i])) for i in weighted]
+        return free | _solve_dp(items, capacity)
+
+    w = weights[weighted]
+    v = values[weighted]
+    density = v / w
+    # lexsort is stable and sorts by the LAST key first: ascending -density
+    # (= density desc), then ascending -v (= value desc), ties keeping
+    # original order — the mirror of sorted(..., reverse=True) above.
+    ranked = np.lexsort((-v, -density))
+    chosen: set[object] = set()
+    used = 0
+    greedy_value = 0.0
+    for i in ranked:
+        wi = int(w[i])
+        if used + wi <= capacity:
+            chosen.add(keys[weighted[i]])
+            used += wi
+            greedy_value += float(v[i])
+
+    fitting = np.flatnonzero(w <= capacity)
+    if fitting.size:
+        best = fitting[int(np.argmax(v[fitting]))]
+        if float(v[best]) > greedy_value:
+            return free | {keys[weighted[best]]}
     return free | chosen
 
 

@@ -166,6 +166,141 @@ class JournaledMutationRule(Rule):
                     )
 
 
+#: Fallback table-backed field vocabulary when ``core/table.py`` is not in
+#: the linted tree (rule fixtures); the live schema literals always win.
+DEFAULT_TABLE_FIELDS = frozenset({
+    "quality", "created_at", "access_count", "replay_count", "source_cost",
+    "plaintext_bytes", "tokens", "embedding_norm",
+    "gain_ema", "offload_gain", "feedback_quality",
+})
+
+#: Only these modules may write table slots directly: the table itself and
+#: the Example property setters layered over it.
+_TABLE_WRITER_MODULES = ("repro.core.table", "repro.core.example")
+
+
+def _fields_from_table(path) -> frozenset[str] | None:
+    """The table-backed attribute names, parsed from ``core/table.py``.
+
+    Reads the module-level ``BOOKKEEPING_COLUMNS`` and ``EMA_STREAMS``
+    tuple literals, so the rule's vocabulary cannot drift from the schema
+    it polices.
+    """
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+    except (OSError, SyntaxError):
+        return None
+    fields: set[str] = set()
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        names = {tgt.id for tgt in node.targets if isinstance(tgt, ast.Name)}
+        if not names & {"BOOKKEEPING_COLUMNS", "EMA_STREAMS"}:
+            continue
+        if isinstance(node.value, (ast.Tuple, ast.List)):
+            for elt in node.value.elts:
+                if isinstance(elt, ast.Constant) and isinstance(
+                        elt.value, str):
+                    fields.add(elt.value)
+    return frozenset(fields) if fields else None
+
+
+@register
+class TableBookkeepingBypassRule(Rule):
+    code = "WAL003"
+    name = "table-bookkeeping-bypass"
+    summary = ("bookkeeping field written around the Example property "
+               "setters / ExampleTable; the columnar slot and the object "
+               "would desynchronize")
+
+    def __init__(self) -> None:
+        self._field_cache: dict = {}
+
+    def _table_fields(self, ctx: FileContext) -> frozenset[str]:
+        table = find_repo_file(ctx, "core", "table.py")
+        key = table if table is not None else "<fallback>"
+        if key not in self._field_cache:
+            fields = _fields_from_table(table) if table is not None else None
+            self._field_cache[key] = fields or DEFAULT_TABLE_FIELDS
+        return self._field_cache[key]
+
+    @staticmethod
+    def _is_table_field(name: object, fields: frozenset[str]) -> bool:
+        if not isinstance(name, str):
+            return False
+        if name.startswith("_x_"):  # the detached-state __dict__ keys
+            name = name[3:]
+        return name in fields or name.split("__")[0] in fields
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.module in _TABLE_WRITER_MODULES:
+            return
+        fields = self._table_fields(ctx)
+        for node in ctx.nodes(ast.Assign, ast.AugAssign):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for tgt in targets:
+                if not isinstance(tgt, ast.Subscript):
+                    continue
+                base = tgt.value
+                # ex.__dict__["quality"] = ... (or the "_x_quality" key):
+                # a write the property setter never sees.
+                if (isinstance(base, ast.Attribute)
+                        and base.attr == "__dict__"
+                        and isinstance(tgt.slice, ast.Constant)
+                        and self._is_table_field(tgt.slice.value, fields)):
+                    yield ctx.finding(
+                        node, self.code,
+                        f"__dict__ write to table-backed field "
+                        f"{tgt.slice.value!r} bypasses the Example property "
+                        "setter; mutate the attribute (or go through "
+                        "ExampleTable) so the columnar slot stays in sync",
+                    )
+                    continue
+                # table._cols[...]... = ...: raw column-slot writes belong
+                # to ExampleTable/Example only.
+                probe = base
+                while isinstance(probe, ast.Subscript):
+                    probe = probe.value
+                if isinstance(probe, ast.Attribute) and probe.attr == "_cols":
+                    yield ctx.finding(
+                        node, self.code,
+                        "direct ExampleTable._cols write outside "
+                        "repro.core.table/example; use the Example property "
+                        "setters or an ExampleTable method",
+                    )
+                    continue
+                # table.col("quality")[rows] = ...: writing through the
+                # column view mutates slots behind the owners' backs.
+                if (isinstance(base, ast.Call)
+                        and isinstance(base.func, ast.Attribute)
+                        and base.func.attr == "col" and base.args):
+                    first = base.args[0]
+                    if (isinstance(first, ast.Constant)
+                            and self._is_table_field(first.value, fields)):
+                        yield ctx.finding(
+                            node, self.code,
+                            f"write through .col({first.value!r}) view "
+                            "outside repro.core.table/example; column views "
+                            "are read-only surfaces for scoring/eviction",
+                        )
+        for node in ctx.nodes(ast.Call):
+            # object.__setattr__(ex, "quality", ...): skips the property.
+            if dotted_name(node.func) != "object.__setattr__":
+                continue
+            if len(node.args) < 3:
+                continue
+            name = node.args[1]
+            if (isinstance(name, ast.Constant)
+                    and self._is_table_field(name.value, fields)):
+                yield ctx.finding(
+                    node, self.code,
+                    f"object.__setattr__ on table-backed field "
+                    f"{name.value!r} bypasses the Example property setter; "
+                    "assign the attribute normally",
+                )
+
+
 @register
 class SnapshotFieldPairingRule(Rule):
     code = "WAL002"

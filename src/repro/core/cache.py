@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.core.config import IndexConfig
 from repro.core.example import Example
+from repro.core.table import ExampleTable
 from repro.vectorstore.ivf import IVFIndex
 from repro.vectorstore.sharded import ShardedIndex
 
@@ -40,6 +41,10 @@ class ExampleCache:
                  index: IVFIndex | ShardedIndex | None = None,
                  index_config: "IndexConfig | None" = None) -> None:
         self._examples: dict[str, Example] = {}
+        # Columnar bookkeeping: every cached example's numeric lifecycle
+        # state lives in contiguous table columns (decay/eviction/snapshot
+        # read them as arrays); the Example objects are views over rows.
+        self._table = ExampleTable()
         # `is None` matters: a freshly built index is empty, hence falsy.
         if index is not None:
             self._index = index
@@ -81,6 +86,11 @@ class ExampleCache:
     def total_bytes(self) -> int:
         """Plaintext bytes held, as a maintained O(1) running counter."""
         return self._total_bytes
+
+    @property
+    def table(self) -> ExampleTable:
+        """The struct-of-arrays bookkeeping table backing cached examples."""
+        return self._table
 
     @property
     def index_nbytes(self) -> int:
@@ -140,6 +150,7 @@ class ExampleCache:
             raise KeyError(f"duplicate example id {example.example_id!r}")
         self._examples[example.example_id] = example
         self._index.add(example.example_id, example.embedding)
+        self._table.attach(example)
         size = example.plaintext_bytes
         self._bytes_by_id[example.example_id] = size
         self._total_bytes += size
@@ -157,8 +168,12 @@ class ExampleCache:
         example_id = example.example_id
         if example_id not in self._examples:
             raise KeyError(example_id)
+        previous = self._examples[example_id]
         self._examples[example_id] = example
         self._index.add(example_id, example.embedding)
+        if previous is not example:
+            self._table.detach(previous)
+            self._table.attach(example)
         size = example.plaintext_bytes
         self._total_bytes += size - self._bytes_by_id[example_id]
         self._bytes_by_id[example_id] = size
@@ -170,6 +185,7 @@ class ExampleCache:
         if example is None:
             raise KeyError(example_id)
         self._index.remove(example_id)
+        self._table.detach(example)
         self._total_bytes -= self._bytes_by_id.pop(example_id)
         if self._journal is not None:
             self._journal("remove", example_id)

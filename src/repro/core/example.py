@@ -2,17 +2,72 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import numpy as np
 
 from repro.analysis.stats import EMA
+from repro.core.table import ColumnEMA
 from repro.llm.icl import ExampleView
 from repro.utils.tokens import count_tokens
 from repro.workload.request import Request
 
 
-@dataclass
+def _table_scalar(column: str, cast) -> property:
+    """A bookkeeping field stored either locally or in a table slot.
+
+    Detached examples keep the raw assigned value in ``__dict__`` (exactly
+    the old dataclass behavior); once attached to an
+    :class:`~repro.core.table.ExampleTable` the field reads and writes the
+    example's column slot, cast back to the plain Python scalar the rest of
+    the system always saw — so decisions downstream stay bit-identical.
+    """
+    local = "_x_" + column
+
+    def fget(self):
+        d = self.__dict__
+        table = d["_table"]
+        if table is None:
+            return d[local]
+        return cast(table._cols[column][d["_row"]])
+
+    def fset(self, value):
+        d = self.__dict__
+        table = d["_table"]
+        if table is None:
+            d[local] = value
+        else:
+            table._cols[column][d["_row"]] = value
+
+    return property(fget, fset)
+
+
+def _table_ema(stream: str) -> property:
+    """An EMA bookkeeping stream: a real EMA when detached, a
+    :class:`~repro.core.table.ColumnEMA` view over the table slot when
+    attached (the view object is cached per example)."""
+    local = "_x_" + stream
+    view_key = "_view_" + stream
+
+    def fget(self):
+        d = self.__dict__
+        if d["_table"] is None:
+            return d[local]
+        view = d.get(view_key)
+        if view is None:
+            view = ColumnEMA(self, stream)
+            d[view_key] = view
+        return view
+
+    def fset(self, value):
+        d = self.__dict__
+        table = d["_table"]
+        if table is None:
+            d[local] = value
+        else:
+            table.write_ema(d["_row"], stream, value)
+
+    return property(fget, fset)
+
+
 class Example:
     """One historical request-response pair stored in the example cache.
 
@@ -24,29 +79,45 @@ class Example:
       decayed hourly);
     * ``feedback_quality`` tracks observed response quality of requests this
       example augmented (the ``normalized_response_quality`` term of G(e)).
+
+    The constructor signature matches the original dataclass.  Bookkeeping
+    fields are properties: standalone examples store them per object, cached
+    examples store them in the owning cache's columnar
+    :class:`~repro.core.table.ExampleTable` (which is what lets decay,
+    eviction, and snapshot restore run over contiguous arrays).  Only
+    ``ExampleTable`` and these property setters may write the table-backed
+    fields — ``reprolint`` WAL003 enforces that.
     """
 
-    example_id: str
-    request: Request
-    response_text: str
-    embedding: np.ndarray        # retrieval embedding of the request
-    quality: float               # latent quality of the stored response
-    source_model: str
-    source_cost: float           # normalized cost of the source model
-    created_at: float = 0.0
-    access_count: int = 0
-    replay_count: int = 0
-    gain_ema: EMA = field(default_factory=lambda: EMA(alpha=0.2))
-    offload_gain: EMA = field(default_factory=lambda: EMA(alpha=0.3))
-    feedback_quality: EMA = field(default_factory=lambda: EMA(alpha=0.3))
-
-    def __post_init__(self) -> None:
-        if not 0.0 <= self.quality <= 1.0:
+    def __init__(self, example_id: str, request: Request, response_text: str,
+                 embedding: np.ndarray, quality: float, source_model: str,
+                 source_cost: float, created_at: float = 0.0,
+                 access_count: int = 0, replay_count: int = 0,
+                 gain_ema: EMA | None = None, offload_gain: EMA | None = None,
+                 feedback_quality: EMA | None = None) -> None:
+        if not 0.0 <= quality <= 1.0:
             raise ValueError(
-                f"example {self.example_id}: quality must be in [0, 1], "
-                f"got {self.quality}"
+                f"example {example_id}: quality must be in [0, 1], "
+                f"got {quality}"
             )
-        self.embedding = np.asarray(self.embedding, dtype=float)
+        d = self.__dict__
+        d["_table"] = None
+        d["_row"] = -1
+        self.example_id = example_id
+        self.request = request
+        self.response_text = response_text
+        self.embedding = np.asarray(embedding, dtype=float)
+        self.quality = quality
+        self.source_model = source_model
+        self.source_cost = source_cost
+        self.created_at = created_at
+        self.access_count = access_count
+        self.replay_count = replay_count
+        self.gain_ema = gain_ema if gain_ema is not None else EMA(alpha=0.2)
+        self.offload_gain = (offload_gain if offload_gain is not None
+                             else EMA(alpha=0.3))
+        self.feedback_quality = (feedback_quality if feedback_quality is not None
+                                 else EMA(alpha=0.3))
         # Prime the memos at construction: stage-2 scoring touches tokens and
         # the embedding norm for every candidate, and at large bank sizes
         # candidates are mostly first-seen, so a lazy memo would miss on the
@@ -54,42 +125,138 @@ class Example:
         _ = self.tokens
         _ = self.embedding_norm
 
+    @classmethod
+    def _attached_view(cls, table, row: int, example_id: str, request: Request,
+                       response_text: str, source_model: str,
+                       embedding: np.ndarray) -> "Example":
+        """A cheap Example bound to an existing table row (bulk restore).
+
+        Skips ``__init__`` entirely: validation, memo priming, and EMA
+        construction already happened when the row was first written, so a
+        v3 snapshot restore only pays five ``__dict__`` stores per example.
+        """
+        self = object.__new__(cls)
+        d = self.__dict__
+        d["example_id"] = example_id
+        d["request"] = request
+        d["response_text"] = response_text
+        d["source_model"] = source_model
+        d["embedding"] = embedding
+        table.bind_owner(row, self)
+        return self
+
+    quality = _table_scalar("quality", float)
+    created_at = _table_scalar("created_at", float)
+    access_count = _table_scalar("access_count", int)
+    replay_count = _table_scalar("replay_count", int)
+    source_cost = _table_scalar("source_cost", float)
+
+    gain_ema = _table_ema("gain_ema")
+    offload_gain = _table_ema("offload_gain")
+    feedback_quality = _table_ema("feedback_quality")
+
     def __setattr__(self, name: str, value: object) -> None:
-        # The token count and embedding norm are memoized (they sit on the
-        # per-candidate serve hot path); drop the memo when the text or the
-        # embedding they derive from is rebound.  Replay refinement rebinding
-        # ``response_text`` in place is the case that makes this necessary.
+        # The token count, plaintext size, and embedding norm are memoized
+        # (they sit on the per-candidate serve and eviction hot paths); drop
+        # the memo — or eagerly refresh the table slot — when the text or
+        # the embedding they derive from is rebound.  Replay refinement
+        # rebinding ``response_text`` in place is the case that makes this
+        # necessary.
         if name in ("response_text", "request"):
-            self.__dict__.pop("_tokens_memo", None)
-        elif name == "embedding":
-            self.__dict__.pop("_norm_memo", None)
+            d = self.__dict__
+            d.pop("_tokens_memo", None)
+            d.pop("_bytes_memo", None)
+            object.__setattr__(self, name, value)
+            table = d["_table"]
+            if table is not None:
+                table.refresh_text_stats(d["_row"], self)
+            return
+        if name == "embedding":
+            d = self.__dict__
+            d.pop("_norm_memo", None)
+            object.__setattr__(self, name, value)
+            table = d["_table"]
+            if table is not None:
+                table.refresh_embedding_norm(d["_row"], self)
+            return
         object.__setattr__(self, name, value)
+
+    def _compute_tokens(self) -> int:
+        return count_tokens(self.request.text) + count_tokens(self.response_text)
+
+    def _compute_bytes(self) -> int:
+        return (
+            len(self.request.text.encode("utf-8"))
+            + len(self.response_text.encode("utf-8"))
+        )
 
     @property
     def tokens(self) -> int:
         """Prompt-length contribution when prepended as an in-context example."""
-        memo = self.__dict__.get("_tokens_memo")
+        d = self.__dict__
+        table = d["_table"]
+        if table is not None:
+            return int(table._cols["tokens"][d["_row"]])
+        memo = d.get("_tokens_memo")
         if memo is None:
-            memo = (count_tokens(self.request.text)
-                    + count_tokens(self.response_text))
-            self.__dict__["_tokens_memo"] = memo
+            memo = self._compute_tokens()
+            d["_tokens_memo"] = memo
         return memo
 
     @property
     def embedding_norm(self) -> float:
         """Memoized ``float(np.linalg.norm(embedding))`` for similarity math."""
-        memo = self.__dict__.get("_norm_memo")
+        d = self.__dict__
+        table = d["_table"]
+        if table is not None:
+            return float(table._cols["embedding_norm"][d["_row"]])
+        memo = d.get("_norm_memo")
         if memo is None:
             memo = float(np.linalg.norm(self.embedding))
-            self.__dict__["_norm_memo"] = memo
+            d["_norm_memo"] = memo
         return memo
 
     @property
     def plaintext_bytes(self) -> int:
         """Cache weight: the example is stored in plaintext (section 4.3)."""
-        return (
-            len(self.request.text.encode("utf-8"))
-            + len(self.response_text.encode("utf-8"))
+        d = self.__dict__
+        table = d["_table"]
+        if table is not None:
+            return int(table._cols["plaintext_bytes"][d["_row"]])
+        memo = d.get("_bytes_memo")
+        if memo is None:
+            memo = self._compute_bytes()
+            d["_bytes_memo"] = memo
+        return memo
+
+    def detached_copy(self) -> "Example":
+        """An independent, detached Example with identical current state.
+
+        A cached example is bound to its cache's columnar table, so it
+        cannot be added to a second cache; offline tools and benchmarks
+        that build secondary pools over live examples take copies instead.
+        Bookkeeping (EMA streams included) is copied by value.
+        """
+        def ema_copy(stream) -> EMA:
+            copy = EMA(alpha=stream.alpha)
+            copy._value = stream._value
+            copy.count = stream.count
+            return copy
+
+        return Example(
+            example_id=self.example_id,
+            request=self.request,
+            response_text=self.response_text,
+            embedding=self.embedding,
+            quality=self.quality,
+            source_model=self.source_model,
+            source_cost=self.source_cost,
+            created_at=self.created_at,
+            access_count=self.access_count,
+            replay_count=self.replay_count,
+            gain_ema=ema_copy(self.gain_ema),
+            offload_gain=ema_copy(self.offload_gain),
+            feedback_quality=ema_copy(self.feedback_quality),
         )
 
     def view(self) -> ExampleView:
@@ -100,3 +267,8 @@ class Example:
 
     def record_access(self) -> None:
         self.access_count += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Example({self.example_id!r}, quality={self.quality:.3f}, "
+                f"tokens={self.tokens}, "
+                f"{'attached' if self.__dict__['_table'] is not None else 'detached'})")

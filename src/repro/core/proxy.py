@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.example import Example
+from repro.core.table import attached_rows
 from repro.embedding.similarity import cosine_similarity
 
 N_FEATURES = 7
@@ -73,6 +74,28 @@ def proxy_features_matrix(request_embedding: np.ndarray,
     features = np.empty((n, N_FEATURES))
     features[:, 0] = 1.0
     features[:, 1] = relevance
+
+    # Columnar fast path: when every candidate is attached to the same
+    # ExampleTable (the cache-search case — i.e. the serve hot path), the
+    # scalar features are four fancy-indexed column gathers instead of
+    # per-object property reads.  ``np.where``/``np.minimum`` on float64
+    # columns perform the same IEEE operations on the same values as the
+    # per-example ``value if initialized else 0.5`` / ``min(1.0, x/d)``
+    # expressions, so utilities stay bit-identical either way.
+    attached = attached_rows(examples)
+    if attached is not None:
+        table, rows = attached
+        cols = table._cols
+        features[:, 2] = np.where(
+            cols["feedback_quality__initialized"][rows],
+            cols["feedback_quality__value"][rows], 0.5,
+        )
+        features[:, 3] = relevance * features[:, 2]
+        features[:, 4] = cols["source_cost"][rows]
+        features[:, 5] = np.minimum(1.0, cols["tokens"][rows] / 512.0)
+        features[:, 6] = np.minimum(1.0, cols["replay_count"][rows] / 5.0)
+        return features
+
     features[:, 2] = [
         ex.feedback_quality.value if ex.feedback_quality.initialized else 0.5
         for ex in examples

@@ -19,6 +19,7 @@ from repro.core.cache import ExampleCache
 from repro.core.config import SelectorConfig
 from repro.core.example import Example
 from repro.core.proxy import HelpfulnessProxy
+from repro.core.table import attached_rows
 
 
 def _pair_similarity(a: Example, b: Example) -> float:
@@ -107,14 +108,20 @@ class ExampleSelector:
         # One proxy matrix product scores the whole candidate list (both
         # `select` and `select_batch` land here), replacing a per-candidate
         # predict() loop on the serve hot path.
-        utilities = self.proxy.score_batch(
-            request_embedding, [example for example, _ in candidates]
-        )
+        examples = [example for example, _ in candidates]
+        utilities = self.proxy.score_batch(request_embedding, examples)
+        attached = attached_rows(examples)
+        if attached is not None:
+            table, rows = attached
+            token_counts = table.col("tokens")[rows].tolist()
+        else:
+            token_counts = [example.tokens for example in examples]
         scored = []
-        for (example, relevance), utility in zip(candidates, utilities):
+        for (example, relevance), utility, tokens in zip(
+                candidates, utilities, token_counts):
             utility = float(utility)
             scored.append(ScoredExample(example, relevance, utility))
-            self._recent_scored.append((utility, example.tokens))
+            self._recent_scored.append((utility, tokens))
         # Size the rolling window in whole queries (pre_k candidates each) so
         # it always spans several requests' full candidate lists — trimming
         # mid-query would bias the sample toward low-relevance tails.

@@ -1,0 +1,443 @@
+"""Struct-of-arrays storage for example bookkeeping (the columnar table).
+
+Every numeric bookkeeping field of :class:`repro.core.example.Example` lives
+here as one contiguous numpy column, mirroring the ``_ClusterBlock``
+discipline of :mod:`repro.vectorstore.ivf`: parallel arrays, an id->row map,
+and O(1) swap-with-last removal.  ``Example`` stays the public API — its
+bookkeeping attributes become properties over a table slot once the example
+is attached — but the lifecycle hot paths stop paying per-object Python
+cost:
+
+* ``ExampleManager.apply_decay`` multiplies two value columns by one scalar
+  (``values *= factor ** periods``) instead of looping ``EMA.decay`` over
+  the pool — bit-identical, because the scalar elementwise multiply is the
+  exact IEEE operation the per-object loop performs;
+* ``ExampleManager.enforce_capacity`` gathers knapsack weights/values with
+  two fancy-indexed column reads instead of building a Python object per
+  example;
+* ``proxy_features_matrix`` fills its feature columns from table gathers;
+* snapshot format v3 serializes the columns as bulk arrays (plus
+  offset-indexed UTF-8 string blobs), so restore is array adoption plus
+  cheap view construction instead of per-example JSON decoding.
+
+The EMA streams are stored as four columns each (value, initialized, count,
+alpha); :class:`ColumnEMA` is an :class:`repro.analysis.stats.EMA`-compatible
+view over one stream's slot, doing its arithmetic in Python floats so every
+update/decay is bit-equal to the object it replaces.
+
+Mutation discipline: columns may only be written by this module and by
+``Example``'s property setters — ``reprolint``'s WAL003 rule flags direct
+``__dict__``/column writes from anywhere else, because a bypassed write
+desynchronizes the journaled state the WAL/snapshot machinery replays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.stats import EMA
+
+#: Scalar bookkeeping columns (name -> dtype).  WAL003 parses this literal
+#: (and EMA_STREAMS below) structurally to learn which attribute names are
+#: table-backed; keep it a plain tuple of plain strings.
+BOOKKEEPING_COLUMNS = (
+    "quality",
+    "created_at",
+    "access_count",
+    "replay_count",
+    "source_cost",
+    "plaintext_bytes",
+    "tokens",
+    "embedding_norm",
+)
+
+#: The three EMA bookkeeping streams, each stored as value/initialized/
+#: count/alpha columns named ``{stream}__{field}``.
+EMA_STREAMS = ("gain_ema", "offload_gain", "feedback_quality")
+
+EMA_FIELDS = ("value", "initialized", "count", "alpha")
+
+_SCALAR_DTYPES = {
+    "quality": np.float64,
+    "created_at": np.float64,
+    "access_count": np.int64,
+    "replay_count": np.int64,
+    "source_cost": np.float64,
+    "plaintext_bytes": np.int64,
+    "tokens": np.int64,
+    "embedding_norm": np.float64,
+}
+
+_EMA_DTYPES = {
+    "value": np.float64,
+    "initialized": np.bool_,
+    "count": np.int64,
+    "alpha": np.float64,
+}
+
+
+def ema_column(stream: str, field: str) -> str:
+    """The column key for one field of one EMA stream."""
+    return f"{stream}__{field}"
+
+
+def column_schema() -> list[tuple[str, np.dtype]]:
+    """Every column of the table as (name, dtype), in canonical order."""
+    schema = [(name, np.dtype(_SCALAR_DTYPES[name]))
+              for name in BOOKKEEPING_COLUMNS]
+    for stream in EMA_STREAMS:
+        for field in EMA_FIELDS:
+            schema.append((ema_column(stream, field),
+                           np.dtype(_EMA_DTYPES[field])))
+    return schema
+
+
+def attached_rows(examples) -> "tuple[ExampleTable, np.ndarray] | None":
+    """(table, rows) when every example is attached to one table, else None.
+
+    The hot-path gate for columnar reads: cache-sourced candidate lists
+    always qualify; mixed or detached lists fall back to per-object reads.
+    """
+    if not examples:
+        return None
+    table = examples[0].__dict__.get("_table")
+    if table is None:
+        return None
+    rows = np.empty(len(examples), dtype=np.intp)
+    for i, example in enumerate(examples):
+        d = example.__dict__
+        if d.get("_table") is not table:
+            return None
+        rows[i] = d["_row"]
+    return table, rows
+
+
+class ColumnEMA:
+    """An EMA-compatible view over one stream's slot in an ExampleTable.
+
+    Implements the full :class:`repro.analysis.stats.EMA` surface —
+    ``alpha``/``_value``/``count`` (the persistence fields), ``value``/
+    ``initialized``, ``update``/``decay`` — reading and writing the
+    example's current table row.  All arithmetic happens in Python floats
+    on values round-tripped through float64 columns, so results are
+    bit-identical to the per-object EMA it stands in for.
+    """
+
+    __slots__ = ("_example", "_stream")
+
+    def __init__(self, example, stream: str) -> None:
+        object.__setattr__(self, "_example", example)
+        object.__setattr__(self, "_stream", stream)
+
+    def _slot(self, field: str):
+        d = self._example.__dict__
+        return d["_table"]._cols[ema_column(self._stream, field)], d["_row"]
+
+    @property
+    def alpha(self) -> float:
+        col, row = self._slot("alpha")
+        return float(col[row])
+
+    @alpha.setter
+    def alpha(self, value: float) -> None:
+        col, row = self._slot("alpha")
+        col[row] = value
+
+    @property
+    def count(self) -> int:
+        col, row = self._slot("count")
+        return int(col[row])
+
+    @count.setter
+    def count(self, value: int) -> None:
+        col, row = self._slot("count")
+        col[row] = value
+
+    @property
+    def _value(self) -> float | None:
+        init, row = self._slot("initialized")
+        if not init[row]:
+            return None
+        col, _ = self._slot("value")
+        return float(col[row])
+
+    @_value.setter
+    def _value(self, value: float | None) -> None:
+        init, row = self._slot("initialized")
+        col, _ = self._slot("value")
+        if value is None:
+            init[row] = False
+            col[row] = 0.0
+        else:
+            init[row] = True
+            col[row] = float(value)
+
+    @property
+    def value(self) -> float:
+        init, row = self._slot("initialized")
+        if not init[row]:
+            return 0.0
+        col, _ = self._slot("value")
+        return float(col[row])
+
+    @property
+    def initialized(self) -> bool:
+        init, row = self._slot("initialized")
+        return bool(init[row])
+
+    def update(self, x: float) -> float:
+        init, row = self._slot("initialized")
+        col, _ = self._slot("value")
+        if not init[row]:
+            new = float(x)
+            init[row] = True
+        else:
+            alpha = self.alpha
+            new = alpha * float(x) + (1.0 - alpha) * float(col[row])
+        col[row] = new
+        count, _ = self._slot("count")
+        count[row] += 1
+        return new
+
+    def decay(self, factor: float, periods: float = 1.0) -> float:
+        init, row = self._slot("initialized")
+        col, _ = self._slot("value")
+        if init[row] and periods > 0:
+            col[row] = float(col[row]) * factor**periods
+        return float(col[row]) if init[row] else 0.0
+
+    def to_ema(self) -> EMA:
+        """A detached plain-object copy of this stream's current state."""
+        ema = EMA(alpha=self.alpha)
+        ema._value = self._value
+        ema.count = self.count
+        return ema
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ColumnEMA({self._stream}, value={self._value!r}, "
+                f"alpha={self.alpha}, count={self.count})")
+
+
+class ExampleTable:
+    """Contiguous columnar bookkeeping for a pool of examples.
+
+    ``attach`` migrates an example's bookkeeping into a fresh row (the
+    example's properties then read/write the slot); ``detach`` copies the
+    slot back into per-object storage and swap-deletes the row.  Rows are
+    dense in [0, n): removal moves the last row into the hole and rebinds
+    that example's cached row index, exactly like ``_ClusterBlock`` does
+    for index vectors.  Row order is therefore an artifact of mutation
+    history and carries no meaning — every consumer gathers by id/row map.
+    """
+
+    def __init__(self, capacity: int = 0) -> None:
+        self._n = 0
+        self._capacity = max(int(capacity), 0)
+        self._cols: dict[str, np.ndarray] = {
+            name: np.zeros(self._capacity, dtype=dtype)
+            for name, dtype in column_schema()
+        }
+        self._owners: list = []
+        self._rows: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return self._n
+
+    # -- access -------------------------------------------------------------
+
+    def col(self, name: str) -> np.ndarray:
+        """The live length-n view of one column.
+
+        Callers may read it (including fancy-indexed gathers) but must not
+        hold it across attach/detach: growth reallocates the backing array.
+        """
+        return self._cols[name][: self._n]
+
+    def row_of(self, example_id: str) -> int:
+        return self._rows[example_id]
+
+    def rows_for(self, example_ids) -> np.ndarray:
+        """Row indices for an id sequence, as one intp array."""
+        rows = self._rows
+        ids = list(example_ids)
+        return np.fromiter((rows[i] for i in ids), dtype=np.intp,
+                           count=len(ids))
+
+    def owner(self, row: int):
+        """The Example object bound to a row (None only mid-adoption)."""
+        return self._owners[row]
+
+    def gather(self, rows: np.ndarray) -> dict[str, np.ndarray]:
+        """Copies of every column gathered in the given row order."""
+        return {name: self._cols[name][: self._n][rows]
+                for name, _ in column_schema()}
+
+    def nbytes(self) -> int:
+        """Resident bytes of the allocated column storage."""
+        return sum(arr.nbytes for arr in self._cols.values())
+
+    # -- membership ---------------------------------------------------------
+
+    def _grow(self, need: int) -> None:
+        capacity = max(8, self._capacity)
+        while capacity < need:
+            capacity *= 2
+        for name, arr in self._cols.items():
+            grown = np.zeros(capacity, dtype=arr.dtype)
+            grown[: self._n] = arr[: self._n]
+            self._cols[name] = grown
+        self._capacity = capacity
+
+    def attach(self, example) -> int:
+        """Migrate a detached example's bookkeeping into a new row."""
+        d = example.__dict__
+        if d["_table"] is not None:
+            raise ValueError(
+                f"example {example.example_id!r} is already attached")
+        if example.example_id in self._rows:
+            raise ValueError(
+                f"duplicate example id {example.example_id!r} in table")
+        if self._n == self._capacity:
+            self._grow(self._n + 1)
+        row = self._n
+        cols = self._cols
+        cols["quality"][row] = example.quality
+        cols["created_at"][row] = example.created_at
+        cols["access_count"][row] = example.access_count
+        cols["replay_count"][row] = example.replay_count
+        cols["source_cost"][row] = example.source_cost
+        cols["plaintext_bytes"][row] = example.plaintext_bytes
+        cols["tokens"][row] = example.tokens
+        cols["embedding_norm"][row] = example.embedding_norm
+        for stream in EMA_STREAMS:
+            ema = d.pop("_x_" + stream)
+            cols[ema_column(stream, "value")][row] = (
+                0.0 if ema._value is None else ema._value)
+            cols[ema_column(stream, "initialized")][row] = (
+                ema._value is not None)
+            cols[ema_column(stream, "count")][row] = ema.count
+            cols[ema_column(stream, "alpha")][row] = ema.alpha
+        for key in ("_x_quality", "_x_created_at", "_x_access_count",
+                    "_x_replay_count", "_x_source_cost",
+                    "_tokens_memo", "_bytes_memo", "_norm_memo"):
+            d.pop(key, None)
+        self._n = row + 1
+        self._owners.append(example)
+        self._rows[example.example_id] = row
+        d["_table"] = self
+        d["_row"] = row
+        return row
+
+    def detach(self, example) -> None:
+        """Copy a row back into per-object storage and swap-delete it."""
+        d = example.__dict__
+        if d["_table"] is not self:
+            raise ValueError(
+                f"example {example.example_id!r} is not attached here")
+        row = d["_row"]
+        cols = self._cols
+        d["_x_quality"] = float(cols["quality"][row])
+        d["_x_created_at"] = float(cols["created_at"][row])
+        d["_x_access_count"] = int(cols["access_count"][row])
+        d["_x_replay_count"] = int(cols["replay_count"][row])
+        d["_x_source_cost"] = float(cols["source_cost"][row])
+        d["_tokens_memo"] = int(cols["tokens"][row])
+        d["_bytes_memo"] = int(cols["plaintext_bytes"][row])
+        d["_norm_memo"] = float(cols["embedding_norm"][row])
+        for stream in EMA_STREAMS:
+            ema = EMA(alpha=float(cols[ema_column(stream, "alpha")][row]))
+            if cols[ema_column(stream, "initialized")][row]:
+                ema._value = float(cols[ema_column(stream, "value")][row])
+            ema.count = int(cols[ema_column(stream, "count")][row])
+            d["_x_" + stream] = ema
+            d.pop("_view_" + stream, None)
+        last = self._n - 1
+        if row != last:
+            for arr in cols.values():
+                arr[row] = arr[last]
+            moved = self._owners[last]
+            self._owners[row] = moved
+            moved.__dict__["_row"] = row
+            self._rows[moved.example_id] = row
+        self._owners.pop()
+        del self._rows[example.example_id]
+        self._n = last
+        d["_table"] = None
+        d["_row"] = -1
+
+    def write_ema(self, row: int, stream: str, ema) -> None:
+        """Overwrite one stream's slot from an EMA-like object's state."""
+        cols = self._cols
+        value = ema._value
+        cols[ema_column(stream, "value")][row] = (
+            0.0 if value is None else value)
+        cols[ema_column(stream, "initialized")][row] = value is not None
+        cols[ema_column(stream, "count")][row] = ema.count
+        cols[ema_column(stream, "alpha")][row] = ema.alpha
+
+    # -- derived-column maintenance ----------------------------------------
+
+    def refresh_text_stats(self, row: int, example) -> None:
+        """Recompute tokens/plaintext_bytes after a text rebind."""
+        self._cols["tokens"][row] = example._compute_tokens()
+        self._cols["plaintext_bytes"][row] = example._compute_bytes()
+
+    def refresh_embedding_norm(self, row: int, example) -> None:
+        self._cols["embedding_norm"][row] = float(
+            np.linalg.norm(example.embedding))
+
+    # -- vectorized lifecycle ------------------------------------------------
+
+    def decay_gains(self, factor: float, periods: int) -> None:
+        """Decay the offload-gain and gain EMA streams over the whole pool.
+
+        Bit-identical to looping ``EMA.decay(factor, periods)`` per
+        example: the multiplier is the same scalar ``factor ** periods``
+        each of those calls computes, the elementwise float64 multiply is
+        the same IEEE operation, and uninitialized rows hold 0.0 (which
+        the multiply preserves) just as ``decay`` skips ``_value is None``.
+        """
+        if periods <= 0 or self._n == 0:
+            return
+        mult = factor**periods
+        n = self._n
+        self._cols[ema_column("offload_gain", "value")][:n] *= mult
+        self._cols[ema_column("gain_ema", "value")][:n] *= mult
+
+    # -- bulk restore --------------------------------------------------------
+
+    @classmethod
+    def adopt_columns(cls, n: int,
+                      columns: dict[str, np.ndarray]) -> "ExampleTable":
+        """Build a table directly over restored column arrays (no copies).
+
+        The arrays may be copy-on-write memmap views from a snapshot
+        sidecar: in-place mutation then dirties private pages, never the
+        file.  Owners must be bound afterwards via :meth:`bind_owner`,
+        one per row.
+        """
+        table = object.__new__(cls)
+        table._n = int(n)
+        table._capacity = int(n)
+        cols: dict[str, np.ndarray] = {}
+        for name, dtype in column_schema():
+            arr = np.asarray(columns[name])
+            if arr.dtype != dtype:
+                arr = arr.astype(dtype)
+            if arr.shape != (table._n,):
+                raise ValueError(
+                    f"column {name!r}: expected shape ({n},), "
+                    f"got {arr.shape}")
+            cols[name] = arr
+        table._cols = cols
+        table._owners = [None] * table._n
+        table._rows = {}
+        return table
+
+    def bind_owner(self, row: int, example) -> None:
+        """Bind a restored Example view to its row (adoption path only)."""
+        self._owners[row] = example
+        self._rows[example.example_id] = row
+        d = example.__dict__
+        d["_table"] = self
+        d["_row"] = row

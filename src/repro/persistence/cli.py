@@ -48,7 +48,12 @@ def cmd_snapshot(args: argparse.Namespace) -> int:
 
 
 def cmd_inspect(args: argparse.Namespace) -> int:
-    from repro.persistence.snapshot import load_snapshot
+    import numpy as np
+
+    from repro.persistence.snapshot import (
+        load_snapshot,
+        snapshot_example_count,
+    )
 
     snapshot = load_snapshot(args.path)
     cache = snapshot["cache"]
@@ -56,6 +61,7 @@ def cmd_inspect(args: argparse.Namespace) -> int:
     stats = snapshot["service"]["stats"]
     sidecar = snapshot.get("sidecar")
     sidecar_path = Path(args.path).with_name(sidecar) if sidecar else None
+    n_examples = snapshot_example_count(cache)
     lines = [
         f"format:        {snapshot['format']} v{snapshot['version']}",
         "sidecar:       " + (
@@ -64,10 +70,34 @@ def cmd_inspect(args: argparse.Namespace) -> int:
             else "none (arrays inline)"
         ),
         f"clock:         {snapshot['clock_now']:.3f} s",
-        f"cache:         {len(cache['examples'])} examples, "
+        f"cache:         {n_examples} examples, "
         f"{cache['total_bytes']} plaintext bytes, "
-        f"{'sharded' if cache['sharded'] else 'monolithic'} index",
+        f"{'sharded' if cache['sharded'] else 'monolithic'} index, "
+        f"{'columnar' if 'examples_columns' in cache else 'record'} pool",
     ]
+    if "examples_columns" in cache:
+        # v3 columnar pool: one line per bookkeeping column, then the
+        # string blobs and the dense matrices.
+        columns = cache["examples_columns"]
+        for name, arr in columns["bookkeeping"].items():
+            arr = np.asarray(arr)
+            lines.append(f"  col {name:<30} {arr.dtype.str:>5} "
+                         f"{arr.nbytes:>10} bytes")
+        blobs = [("ids", columns["ids"]),
+                 ("response_texts", columns["response_texts"]),
+                 ("source_models", columns["source_models"])] + [
+                (f"request.{key}", columns["request"][key])
+                for key in ("request_ids", "datasets", "tasks",
+                            "texts", "metadata")]
+        for name, blob in blobs:
+            data = np.asarray(blob["data"])
+            lines.append(f"  str {name:<30} utf-8 "
+                         f"{data.nbytes:>10} bytes")
+        for name, arr in (("embeddings", columns["embeddings"]),
+                          ("request.latents", columns["request"]["latents"])):
+            arr = np.asarray(arr)
+            lines.append(f"  mat {name:<30} {arr.dtype.str:>5} "
+                         f"{arr.nbytes:>10} bytes  shape {arr.shape}")
     if cache["sharded"]:
         sizes = [len(s["flat"]["keys"]) for s in index["shards"]]
         trains = [s["trainings"] for s in index["shards"]]
@@ -94,7 +124,8 @@ def cmd_inspect(args: argparse.Namespace) -> int:
     if args.json:
         summary = {
             "version": snapshot["version"],
-            "examples": len(cache["examples"]),
+            "examples": n_examples,
+            "columnar": "examples_columns" in cache,
             "total_bytes": cache["total_bytes"],
             "served": stats["served"],
         }

@@ -29,10 +29,20 @@ first touch and mutations stay private — instead of paying a JSON+base64
 decode per array.  The sidecar is content-hash named
 (``<manifest>.<digest>.bin``), which makes the bin-then-json replace order
 crash-safe: a half-finished write never changes the file the previous
-manifest points at.  Version-1 snapshots (arrays inline as base64 of raw
-bytes) still load; both encodings round-trip bit-exactly.  Scalar floats
-rely on JSON's shortest-roundtrip repr, which is also exact.  ``version``
-gates compatibility: readers reject unknown versions instead of guessing.
+manifest points at.
+
+Format version 3 stores the example pool **columnar**: the cache's
+:class:`~repro.core.table.ExampleTable` bookkeeping columns ride the
+sidecar as whole arrays, string fields become offset-indexed UTF-8 blobs
+(one ``int64`` offsets array of length n+1 plus one ``uint8`` byte array
+per column), and embeddings/latents become one ``(n, dim)`` matrix each.
+Restore is then bulk array adoption plus cheap per-example view
+construction instead of per-example record decoding — two orders of
+magnitude fewer Python-level operations.  Version-1 snapshots (arrays
+inline as base64 of raw bytes) and version-2 per-example-record documents
+still load; all encodings round-trip bit-exactly.  Scalar floats rely on
+JSON's shortest-roundtrip repr, which is also exact.  ``version`` gates
+compatibility: readers reject unknown versions instead of guessing.
 
 Not captured (by design): in-flight requests parked in the pipeline
 (``pipeline._pending``) — a crash loses them, like any serving system;
@@ -64,6 +74,7 @@ from repro.core.config import (
     SelectorConfig,
 )
 from repro.core.example import Example
+from repro.core.table import ExampleTable, column_schema
 from repro.vectorstore.ivf import IVFIndex
 from repro.vectorstore.sharded import ShardedIndex
 from repro.workload.request import Request, TaskType
@@ -72,10 +83,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core -> persistence)
     from repro.core.service import ICCacheService
 
 SNAPSHOT_FORMAT = "ic-cache-snapshot"
-SNAPSHOT_VERSION = 2
+SNAPSHOT_VERSION = 3
 #: Versions this reader restores: 1 = arrays inline as base64, 2 = arrays
-#: in the mmap sidecar (base64 still accepted anywhere in a v2 document).
-SUPPORTED_VERSIONS = (1, 2)
+#: in the mmap sidecar (base64 still accepted anywhere in a v2 document),
+#: 3 = the example pool as bulk columns + string blobs (``examples_columns``)
+#: with per-example records kept as the fallback encoding.  Unknown (v4+)
+#: versions are rejected, never guessed at.
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 #: Sidecar array offsets are padded to this alignment so every mapped view
 #: is at least cache-line aligned regardless of the preceding array's size.
@@ -103,6 +117,33 @@ def decode_array(record: dict) -> np.ndarray:
     arr = np.frombuffer(base64.b64decode(record["__ndarray__"]),
                         dtype=np.dtype(record["dtype"]))
     return arr.reshape(record["shape"]).copy()
+
+
+def encode_str_column(strings: list[str]) -> dict:
+    """A string column as one offset-indexed UTF-8 blob (two arrays).
+
+    ``offsets`` has n+1 int64 entries; string i is
+    ``data[offsets[i]:offsets[i+1]]`` decoded as UTF-8.  Two arrays instead
+    of n JSON strings means the bytes ride the sidecar and restore decodes
+    straight out of the mapped pages.
+    """
+    encoded = [s.encode("utf-8") for s in strings]
+    lengths = np.fromiter((len(b) for b in encoded), dtype=np.int64,
+                          count=len(encoded))
+    offsets = np.zeros(len(encoded) + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    return {
+        "offsets": offsets,
+        "data": np.frombuffer(b"".join(encoded), dtype=np.uint8),
+    }
+
+
+def decode_str_column(record: dict) -> list[str]:
+    """Inverse of :func:`encode_str_column`."""
+    offsets = np.asarray(record["offsets"]).tolist()
+    data = np.ascontiguousarray(record["data"], dtype=np.uint8).tobytes()
+    return [data[offsets[i]:offsets[i + 1]].decode("utf-8")
+            for i in range(len(offsets) - 1)]
 
 
 class SidecarBuilder:
@@ -335,17 +376,161 @@ def example_from_record(record: dict) -> Example:
     )
 
 
+def examples_columns_state(cache) -> dict | None:
+    """The example pool as bulk columns + string blobs (format v3).
+
+    Rows are emitted in cache-insertion order (dict order IS iteration
+    order, and downstream passes — decay, replay ranking ties — iterate
+    the pool), NOT table-row order: table rows are a swap-delete history
+    artifact and carry no meaning.  Returns ``None`` when the pool cannot
+    be expressed columnar — examples not attached to the cache's table, or
+    heterogeneous embedding/latent dimensions — in which case the caller
+    falls back to per-example records inside the same v3 document.
+    """
+    examples = list(cache)
+    n = len(examples)
+    table = getattr(cache, "table", None)
+    if table is None or len(table) != n:
+        return None
+
+    def _matrix(arrays: list[np.ndarray]) -> np.ndarray | None:
+        if not arrays:
+            return np.empty((0, 0))
+        if any(a.ndim != 1 or a.shape != arrays[0].shape for a in arrays):
+            return None
+        return np.stack(arrays)
+
+    embeddings = _matrix([ex.embedding for ex in examples])
+    latents = _matrix([np.asarray(ex.request.latent, dtype=float)
+                       for ex in examples])
+    if embeddings is None or latents is None:
+        return None
+    ids = [ex.example_id for ex in examples]
+    requests = [ex.request for ex in examples]
+    bytes_by_id = cache._bytes_by_id
+    bookkeeping = table.gather(table.rows_for(ids))
+    return {
+        "n": n,
+        "ids": encode_str_column(ids),
+        "response_texts": encode_str_column(
+            [ex.response_text for ex in examples]),
+        "source_models": encode_str_column(
+            [ex.source_model for ex in examples]),
+        "embeddings": embeddings,
+        "recorded_bytes": np.fromiter(
+            (bytes_by_id[i] for i in ids), dtype=np.int64, count=n),
+        "bookkeeping": bookkeeping,
+        "request": {
+            "request_ids": encode_str_column(
+                [r.request_id for r in requests]),
+            "datasets": encode_str_column([r.dataset for r in requests]),
+            "tasks": encode_str_column([r.task.value for r in requests]),
+            "texts": encode_str_column([r.text for r in requests]),
+            # Metadata dicts as JSON strings ("" for the common empty
+            # case), run through _encode first so embedded ndarrays keep
+            # the bit-exact base64 encoding the record path used.
+            "metadata": encode_str_column([
+                json.dumps(_encode(r.metadata), separators=(",", ":"))
+                if r.metadata else "" for r in requests
+            ]),
+            "latents": latents,
+            "topic_ids": np.fromiter((r.topic_id for r in requests),
+                                     dtype=np.int64, count=n),
+            "difficulties": np.fromiter((r.difficulty for r in requests),
+                                        dtype=np.float64, count=n),
+            "prompt_tokens": np.fromiter((r.prompt_tokens for r in requests),
+                                         dtype=np.int64, count=n),
+            "target_output_tokens": np.fromiter(
+                (r.target_output_tokens for r in requests),
+                dtype=np.int64, count=n),
+            "arrival_times": np.fromiter((r.arrival_time for r in requests),
+                                         dtype=np.float64, count=n),
+        },
+    }
+
+
+def _restore_examples_columns(columns: dict) -> tuple[dict, dict, ExampleTable]:
+    """Bulk-rebuild the example pool from an ``examples_columns`` section.
+
+    Returns ``(examples dict, bytes_by_id, table)``.  The table adopts the
+    bookkeeping arrays directly (copy-on-write views when the snapshot has
+    a sidecar); each Example is a cheap attached view bound to its row, so
+    the per-example cost is a handful of ``__dict__`` stores instead of
+    record decoding, validation, and memo priming.
+    """
+    n = int(columns["n"])
+    table = ExampleTable.adopt_columns(
+        n, {name: np.asarray(columns["bookkeeping"][name])
+            for name, _ in column_schema()})
+    ids = decode_str_column(columns["ids"])
+    response_texts = decode_str_column(columns["response_texts"])
+    source_models = decode_str_column(columns["source_models"])
+    embeddings = np.asarray(columns["embeddings"], dtype=float)
+    req = columns["request"]
+    request_ids = decode_str_column(req["request_ids"])
+    datasets = decode_str_column(req["datasets"])
+    tasks = decode_str_column(req["tasks"])
+    texts = decode_str_column(req["texts"])
+    metadata = decode_str_column(req["metadata"])
+    latents = np.asarray(req["latents"], dtype=float)
+    topic_ids = np.asarray(req["topic_ids"]).tolist()
+    difficulties = np.asarray(req["difficulties"]).tolist()
+    prompt_tokens = np.asarray(req["prompt_tokens"]).tolist()
+    target_output_tokens = np.asarray(req["target_output_tokens"]).tolist()
+    arrival_times = np.asarray(req["arrival_times"]).tolist()
+    task_by_value = {task.value: task for task in TaskType}
+    examples: dict[str, Example] = {}
+    for i in range(n):
+        # Bypass the dataclass constructor: __post_init__ validation ran
+        # when the record was first built, and serialized prompt_tokens are
+        # always the post-init (positive) values.
+        request = object.__new__(Request)
+        request.__dict__.update(
+            request_id=request_ids[i],
+            dataset=datasets[i],
+            task=task_by_value[tasks[i]],
+            text=texts[i],
+            latent=latents[i],
+            topic_id=topic_ids[i],
+            difficulty=difficulties[i],
+            prompt_tokens=prompt_tokens[i],
+            target_output_tokens=target_output_tokens[i],
+            arrival_time=arrival_times[i],
+            metadata=_decode(json.loads(metadata[i])) if metadata[i] else {},
+        )
+        examples[ids[i]] = Example._attached_view(
+            table, i, ids[i], request, response_texts[i],
+            source_models[i], embeddings[i],
+        )
+    bytes_by_id = dict(zip(
+        ids, np.asarray(columns["recorded_bytes"]).tolist()))
+    return examples, bytes_by_id, table
+
+
+def snapshot_example_count(cache_state_doc: dict) -> int:
+    """Number of examples in a ``cache_state`` section, any format."""
+    if "examples_columns" in cache_state_doc:
+        return int(cache_state_doc["examples_columns"]["n"])
+    return len(cache_state_doc["examples"])
+
+
 def cache_state(cache) -> dict:
     """Serializable state of an ExampleCache / ShardedExampleCache."""
-    return {
+    state = {
         "sharded": isinstance(cache, ShardedExampleCache),
-        # Insertion order is preserved: dict order IS iteration order and
-        # downstream passes (decay, replay ranking ties) iterate the pool.
-        "examples": [example_record(ex) for ex in cache],
-        "bytes_by_id": dict(cache._bytes_by_id),
         "total_bytes": cache.total_bytes,
         "index": cache._index.to_state(),
     }
+    columns = examples_columns_state(cache)
+    if columns is not None:
+        state["examples_columns"] = columns
+    else:
+        # Per-example record fallback (also the only v1/v2 encoding).
+        # Insertion order is preserved: dict order IS iteration order and
+        # downstream passes (decay, replay ranking ties) iterate the pool.
+        state["examples"] = [example_record(ex) for ex in cache]
+        state["bytes_by_id"] = dict(cache._bytes_by_id)
+    return state
 
 
 def restore_cache_state(cache, state: dict, shard_fn=None) -> None:
@@ -357,6 +542,10 @@ def restore_cache_state(cache, state: dict, shard_fn=None) -> None:
     shard-assignment function (code, not state) for sharded layouts;
     existing keys keep their memoized assignments either way, but new adds
     would silently fall back to hash placement without it.
+
+    The columnar table is rebuilt along with the pool: bulk array adoption
+    for v3 ``examples_columns`` documents, re-attachment in insertion order
+    for per-example-record documents (v1/v2, and the v3 fallback).
     """
     sharded = bool(state["sharded"])
     if sharded != isinstance(cache, ShardedExampleCache):
@@ -364,10 +553,21 @@ def restore_cache_state(cache, state: dict, shard_fn=None) -> None:
             "snapshot cache layout does not match the configured one "
             f"(snapshot sharded={sharded}); check config.cache_shards"
         )
-    examples = [example_from_record(rec) for rec in state["examples"]]
-    cache._examples = {ex.example_id: ex for ex in examples}
-    cache._bytes_by_id = {key: int(value)
-                          for key, value in state["bytes_by_id"].items()}
+    if "examples_columns" in state:
+        examples, bytes_by_id, table = _restore_examples_columns(
+            state["examples_columns"])
+        cache._examples = examples
+        cache._bytes_by_id = bytes_by_id
+        cache._table = table
+    else:
+        examples = [example_from_record(rec) for rec in state["examples"]]
+        table = ExampleTable(capacity=len(examples))
+        for example in examples:
+            table.attach(example)
+        cache._examples = {ex.example_id: ex for ex in examples}
+        cache._bytes_by_id = {key: int(value)
+                              for key, value in state["bytes_by_id"].items()}
+        cache._table = table
     cache._total_bytes = int(state["total_bytes"])
     if sharded:
         cache._index = ShardedIndex.from_state(state["index"],

@@ -288,10 +288,20 @@ def _apply_retrain(cache, data: dict) -> None:
 
 
 def _apply_decay(manager, periods: int) -> None:
-    """Redo one decay pass: same factor, same periods, same clock math."""
-    for example in manager.cache:
-        example.offload_gain.decay(manager.config.decay_factor, periods)
-        example.gain_ema.decay(manager.config.decay_factor, periods)
+    """Redo one decay pass: same factor, same periods, same clock math.
+
+    Vectorized over the cache's columnar table when one is present (the
+    same ``values *= factor ** periods`` the live pass runs, so replay
+    stays bit-identical); the per-object loop remains for table-less
+    cache stand-ins.
+    """
+    table = getattr(manager.cache, "table", None)
+    if table is not None:
+        table.decay_gains(manager.config.decay_factor, periods)
+    else:
+        for example in manager.cache:
+            example.offload_gain.decay(manager.config.decay_factor, periods)
+            example.gain_ema.decay(manager.config.decay_factor, periods)
     manager._last_decay += periods * manager.config.decay_period_s
 
 

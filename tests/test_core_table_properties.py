@@ -1,0 +1,266 @@
+"""Property tests: the columnar ExampleTable vs a per-object reference.
+
+The struct-of-arrays refactor moved every bookkeeping scalar and all three
+EMA streams out of ``Example.__dict__`` into contiguous numpy columns on
+:class:`repro.core.table.ExampleTable`, with ``Example`` reading and
+writing its slot through properties.  The refactor's contract is *bit
+identity*: every decision input downstream (decay, eviction value, proxy
+features) must be the exact float the old per-object code produced.
+
+Hypothesis drives arbitrary interleavings of every lifecycle mutation —
+add, overwrite, remove (exercising swap-delete row reuse), record_use,
+whole-period decay (the vectorized ``*= factor ** periods`` broadcast),
+access bumps, and the WAL's replay-rewrite pattern (in-place text +
+bookkeeping overwrite) — against a pure-Python reference implementing the
+pre-refactor per-object semantics.  After **every** operation the full
+visible state is compared with exact ``==``, no tolerances.
+
+A second property pins :func:`repro.analysis.knapsack.solve_knapsack_arrays`
+(the eviction pass's column-oriented solver) to the object solver's answer
+on identical inputs, greedy and exact paths both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.knapsack import (
+    KnapsackItem,
+    solve_knapsack,
+    solve_knapsack_arrays,
+)
+from repro.core.cache import ExampleCache
+from repro.core.config import ManagerConfig
+from repro.core.manager import ExampleManager
+from repro.core.replay import replay_gain
+from repro.utils.clock import SimClock
+from repro.utils.tokens import count_tokens
+from tests.strategies import QUICK
+from tests.test_core_cache import make_example
+
+POOL = [f"ex-{i}" for i in range(6)]
+
+
+class RefEMA:
+    """The pre-refactor ``repro.analysis.stats.EMA`` semantics, verbatim."""
+
+    def __init__(self, alpha: float) -> None:
+        self.alpha = alpha
+        self.raw: float | None = None
+        self.count = 0
+
+    def update(self, x: float) -> None:
+        if self.raw is None:
+            self.raw = float(x)
+        else:
+            self.raw = self.alpha * float(x) + (1.0 - self.alpha) * self.raw
+        self.count += 1
+
+    def decay(self, factor: float, periods: int) -> None:
+        if self.raw is not None and periods > 0:
+            self.raw *= factor ** periods
+
+
+class RefExample:
+    """Per-object bookkeeping exactly as the old dataclass stored it."""
+
+    def __init__(self, request_text: str, response_text: str,
+                 quality: float, embedding: np.ndarray) -> None:
+        self.request_text = request_text
+        self.response_text = response_text
+        self.quality = quality
+        self.embedding = embedding
+        self.access_count = 0
+        self.replay_count = 0
+        self.source_cost = 1.0
+        self.created_at = 0.0
+        self.gain_ema = RefEMA(alpha=0.2)
+        self.offload_gain = RefEMA(alpha=0.3)
+        self.feedback_quality = RefEMA(alpha=0.3)
+
+    @property
+    def plaintext_bytes(self) -> int:
+        return (len(self.request_text.encode("utf-8"))
+                + len(self.response_text.encode("utf-8")))
+
+    @property
+    def tokens(self) -> int:
+        return count_tokens(self.request_text) + count_tokens(
+            self.response_text)
+
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("add"), st.sampled_from(POOL), st.integers(0, 30)),
+        st.tuples(st.just("overwrite"), st.sampled_from(POOL),
+                  st.integers(0, 30)),
+        st.tuples(st.just("remove"), st.sampled_from(POOL), st.just(0)),
+        st.tuples(st.just("access"), st.sampled_from(POOL), st.just(0)),
+        st.tuples(st.just("record_use"), st.sampled_from(POOL),
+                  st.integers(0, 100)),
+        st.tuples(st.just("decay"), st.just(""), st.integers(1, 3)),
+        st.tuples(st.just("rewrite"), st.sampled_from(POOL),
+                  st.integers(0, 40)),
+    ),
+    min_size=1, max_size=50,
+)
+
+
+def _add(cache, reference, example_id: str, size: int,
+         overwrite: bool = False) -> None:
+    text = "q " * size + "question"
+    example = make_example(example_id=example_id,
+                           direction=hash(example_id) % 64, text=text)
+    (cache.overwrite if overwrite else cache.add)(example)
+    reference[example_id] = RefExample(
+        request_text=example.request.text,
+        response_text=example.response_text,
+        quality=example.quality,
+        embedding=np.array(example.embedding),
+    )
+
+
+def _apply(cache, manager, clock, reference, op, example_id, arg) -> None:
+    present = example_id in reference
+    if op == "add":
+        if not present:
+            _add(cache, reference, example_id, arg)
+    elif op == "overwrite":
+        if present:
+            _add(cache, reference, example_id, arg, overwrite=True)
+    elif op == "remove":
+        if present:
+            cache.remove(example_id)
+            del reference[example_id]
+    elif op == "access":
+        if present:
+            cache.get(example_id).record_access()
+            reference[example_id].access_count += 1
+    elif op == "record_use":
+        if present:
+            quality = arg / 100.0
+            offloaded = arg % 2 == 0
+            manager.record_use(cache.get(example_id), quality,
+                               model_cost=0.25, offloaded=offloaded)
+            ref = reference[example_id]
+            ref.gain_ema.update(replay_gain(quality, 0.25))
+            ref.feedback_quality.update(quality)
+            ref.offload_gain.update(1.0 if offloaded else 0.0)
+    elif op == "decay":
+        periods = arg
+        clock.advance(periods * manager.config.decay_period_s)
+        manager.apply_decay()
+        for ref in reference.values():
+            ref.offload_gain.decay(manager.config.decay_factor, periods)
+            ref.gain_ema.decay(manager.config.decay_factor, periods)
+    elif op == "rewrite":
+        if present:
+            # The WAL replay-rewrite pattern: in-place field overwrite
+            # through the property setters, plus the byte-counter fix-up
+            # (mirrors repro.persistence.wal._apply_replay_rewrite).
+            example = cache.get(example_id)
+            ref = reference[example_id]
+            new_text = "refined " + "r " * arg
+            example.response_text = new_text
+            example.replay_count = example.replay_count + 1
+            ref.response_text = new_text
+            ref.replay_count += 1
+            new_size = example.plaintext_bytes
+            cache._total_bytes += new_size - cache._bytes_by_id[example_id]
+            cache._bytes_by_id[example_id] = new_size
+
+
+def _assert_ema_matches(view, ref: RefEMA, label: str) -> None:
+    assert view.alpha == ref.alpha, label
+    assert view.count == ref.count, label
+    assert view.initialized == (ref.raw is not None), label
+    assert view._value == ref.raw, label
+    assert view.value == (0.0 if ref.raw is None else ref.raw), label
+
+
+def _assert_state_matches(cache, reference) -> None:
+    table = cache.table
+    assert len(cache) == len(reference)
+    for example_id, ref in reference.items():
+        example = cache.get(example_id)
+        row = table.row_of(example_id)
+        assert example.__dict__["_table"] is table
+        assert example.__dict__["_row"] == row
+        assert 0 <= row < len(reference)
+        assert example.quality == ref.quality, example_id
+        assert example.access_count == ref.access_count, example_id
+        assert example.replay_count == ref.replay_count, example_id
+        assert example.source_cost == ref.source_cost, example_id
+        assert example.created_at == ref.created_at, example_id
+        assert example.plaintext_bytes == ref.plaintext_bytes, example_id
+        assert example.tokens == ref.tokens, example_id
+        assert example.embedding_norm == float(
+            np.linalg.norm(ref.embedding)), example_id
+        _assert_ema_matches(example.gain_ema, ref.gain_ema,
+                            f"{example_id}.gain_ema")
+        _assert_ema_matches(example.offload_gain, ref.offload_gain,
+                            f"{example_id}.offload_gain")
+        _assert_ema_matches(example.feedback_quality, ref.feedback_quality,
+                            f"{example_id}.feedback_quality")
+
+
+@settings(**QUICK)
+@given(ops=_ops)
+def test_table_columns_match_per_object_reference(ops):
+    """Every lifecycle interleaving leaves the columns bit-identical to
+    the per-object bookkeeping they replaced — including rows recycled
+    by swap-delete."""
+    cache = ExampleCache(dim=64)
+    clock = SimClock()
+    manager = ExampleManager(cache, ManagerConfig(sanitize=False),
+                             clock=clock)
+    reference: dict[str, RefExample] = {}
+    for op, example_id, arg in ops:
+        _apply(cache, manager, clock, reference, op, example_id, arg)
+        _assert_state_matches(cache, reference)
+
+
+@settings(**QUICK)
+@given(ops=_ops)
+def test_detach_reuses_rows_and_keeps_survivors_intact(ops):
+    """Emptying the cache row by row: each swap-delete rebinds the moved
+    example in place, and survivors keep exact state throughout."""
+    cache = ExampleCache(dim=64)
+    clock = SimClock()
+    manager = ExampleManager(cache, ManagerConfig(sanitize=False),
+                             clock=clock)
+    reference: dict[str, RefExample] = {}
+    for op, example_id, arg in ops:
+        _apply(cache, manager, clock, reference, op, example_id, arg)
+    for example_id in list(reference):
+        cache.remove(example_id)
+        del reference[example_id]
+        _assert_state_matches(cache, reference)
+    assert len(cache.table) == 0
+
+
+_knapsack_cases = st.tuples(
+    st.lists(st.tuples(st.integers(0, 50),
+                       st.integers(0, 1000)),  # (weight, value-in-1000ths)
+             min_size=0, max_size=12),
+    st.integers(0, 200),
+    st.booleans(),
+)
+
+
+@settings(**QUICK)
+@given(case=_knapsack_cases)
+def test_solve_knapsack_arrays_matches_object_solver(case):
+    """The eviction pass's column-oriented solver keeps the object
+    solver's exact answer — same keys kept, greedy and exact DP both."""
+    rows, capacity, exact = case
+    keys = [f"k-{i}" for i in range(len(rows))]
+    items = [KnapsackItem(key=key, weight=w, value=v / 1000.0)
+             for key, (w, v) in zip(keys, rows)]
+    weights = np.array([w for w, _ in rows], dtype=np.float64)
+    values = np.array([v / 1000.0 for _, v in rows], dtype=np.float64)
+    expected = solve_knapsack(items, capacity, exact=exact)
+    got = solve_knapsack_arrays(keys, weights, values, capacity, exact=exact)
+    assert got == expected

@@ -35,7 +35,7 @@ class TestRegistry:
 
     def test_expected_codes_present(self):
         expected = {"DET001", "DET002", "DET003", "DET004", "DET005",
-                    "WAL001", "WAL002", "ARCH001", "ARCH002"}
+                    "WAL001", "WAL002", "WAL003", "ARCH001", "ARCH002"}
         assert expected <= set(rule_classes())
 
     def test_fresh_instances_per_call(self):
@@ -310,6 +310,80 @@ class TestWAL002SnapshotPairing:
             "        return obj\n"
         ))
         assert "WAL002" not in codes(found)
+
+
+class TestWAL003TableBookkeepingBypass:
+    def test_fires_on_dict_write_to_table_field(self, tmp_path):
+        found = lint_source(tmp_path, "src/repro/core/manager.py", (
+            "def sneaky(ex):\n"
+            "    ex.__dict__['quality'] = 0.9\n"
+            "    ex.__dict__['_x_access_count'] = 3\n"
+        ))
+        assert codes(found).count("WAL003") == 2
+
+    def test_fires_on_object_setattr_bypass(self, tmp_path):
+        found = lint_source(tmp_path, "src/repro/persistence/wal.py", (
+            "def sneaky(ex):\n"
+            "    object.__setattr__(ex, 'gain_ema', None)\n"
+        ))
+        assert sum(1 for f in found
+                   if f.code == "WAL003" and "'gain_ema'" in f.message) == 1
+
+    def test_fires_on_raw_column_writes(self, tmp_path):
+        found = lint_source(tmp_path, "src/repro/core/selector.py", (
+            "def sneaky(table, rows):\n"
+            "    table._cols['quality'][rows] = 1.0\n"
+            "    table.col('offload_gain__value')[rows] = 0.0\n"
+        ))
+        assert codes(found).count("WAL003") == 2
+
+    def test_quiet_on_property_writes_and_plain_dict_keys(self, tmp_path):
+        found = lint_source(tmp_path, "src/repro/core/manager.py", (
+            "def fine(ex, table, stats):\n"
+            "    ex.quality = 0.9\n"
+            "    ex.access_count += 1\n"
+            "    ex.__dict__['_difficulty_memo'] = {}\n"
+            "    stats['quality'] = 1.0\n"
+            "    values = table.col('quality')\n"
+        ))
+        assert "WAL003" not in codes(found)
+
+    def test_table_and_example_modules_are_exempt(self, tmp_path):
+        for relpath in ("src/repro/core/table.py",
+                        "src/repro/core/example.py"):
+            found = lint_source(tmp_path, relpath, (
+                "def fset(self, table, row, value):\n"
+                "    table._cols['quality'][row] = value\n"
+            ))
+            assert "WAL003" not in codes(found), relpath
+
+    def test_vocabulary_is_parsed_from_live_table(self, tmp_path):
+        """A fixture table.py narrows the protected fields structurally."""
+        table = tmp_path / "src/repro/core/table.py"
+        table.parent.mkdir(parents=True, exist_ok=True)
+        table.write_text(
+            "BOOKKEEPING_COLUMNS = ('freshness',)\n"
+            "EMA_STREAMS = ('drift_ema',)\n",
+            encoding="utf-8",
+        )
+        found = lint_source(tmp_path, "src/repro/core/manager.py", (
+            "def f(ex):\n"
+            "    ex.__dict__['freshness'] = 1\n"
+            "    ex.__dict__['quality'] = 0.5\n"  # not a field in this tree
+        ))
+        assert sum(1 for f in found
+                   if f.code == "WAL003" and "'freshness'" in f.message) == 1
+        assert not any(f.code == "WAL003" and "'quality'" in f.message
+                       for f in found)
+
+    def test_default_fields_match_live_table_schema(self):
+        """The fallback vocabulary cannot drift from core/table.py."""
+        from repro.analysis.lint.rules.durability import (
+            DEFAULT_TABLE_FIELDS,
+            _fields_from_table,
+        )
+        live = _fields_from_table(REPO_ROOT / "src/repro/core/table.py")
+        assert live == DEFAULT_TABLE_FIELDS
 
 
 class TestARCH001ImportLayering:

@@ -63,6 +63,23 @@ class TestInspect:
         assert summary["served"] == SERVE
         assert summary["examples"] > 0
         assert summary["total_bytes"] > 0
+        assert summary["columnar"] is True
+
+    def test_v3_per_column_stats(self, snapshot_path, capsys):
+        """A v3 snapshot inspects as a columnar pool: one line per
+        bookkeeping column, string blob, and embedding matrix."""
+        assert main(["inspect", str(snapshot_path), "--json"]) == 0
+        n = json.loads(
+            capsys.readouterr().out.strip().splitlines()[-1])["examples"]
+        assert main(["inspect", str(snapshot_path)]) == 0
+        out = capsys.readouterr().out
+        assert "columnar pool" in out
+        assert "col quality" in out
+        assert "col offload_gain__value" in out
+        assert "str response_texts" in out
+        assert "str request.metadata" in out
+        assert "mat embeddings" in out
+        assert f"shape ({n}," in out
 
 
 class TestRestore:

@@ -19,7 +19,7 @@ import pytest
 from repro.core.config import ICCacheConfig, ManagerConfig
 from repro.core.example import Example
 from repro.core.service import ICCacheService
-from repro.persistence.snapshot import load_snapshot
+from repro.persistence.snapshot import load_snapshot, snapshot_example_count
 from repro.persistence.wal import Checkpointer, WriteAheadLog
 from repro.pipeline.protocols import ServeMiddleware
 from repro.workload.datasets import SyntheticDataset
@@ -271,7 +271,7 @@ class TestCompaction:
         # Compaction = fresh snapshot + truncated journal, nothing lost.
         assert checkpointer.wal.size_bytes == 0
         snapshot = load_snapshot(checkpointer.snapshot_path)
-        assert len(snapshot["cache"]["examples"]) == len(service.cache)
+        assert snapshot_example_count(snapshot["cache"]) == len(service.cache)
         recovered = Checkpointer.recover(tmp_path / "ckpt")
         assert sorted(ex.example_id for ex in recovered.cache) == \
             sorted(ex.example_id for ex in service.cache)

@@ -1,4 +1,4 @@
-"""The mmap sidecar snapshot path (format version 2).
+"""The mmap sidecar snapshot path (format versions 2+).
 
 Companion to ``test_persistence_recovery.py``: that file pins crash
 recovery through snapshot + WAL; this one pins the *encoding* overhaul —
@@ -56,13 +56,13 @@ def _bin_files(path):
 
 
 class TestSidecarFormat:
-    def test_v2_manifest_references_content_hash_sidecar(self, tmp_path):
+    def test_manifest_references_content_hash_sidecar(self, tmp_path):
         service, _ = _build()
         path = tmp_path / "snap.json"
         service.save(path)
 
         doc = json.loads(path.read_text(encoding="utf-8"))
-        assert doc["version"] == SNAPSHOT_VERSION == 2
+        assert doc["version"] == SNAPSHOT_VERSION == 3
         bins = _bin_files(path)
         assert len(bins) == 1
         assert doc["sidecar"] == bins[0].name
