@@ -49,6 +49,10 @@ ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
     "baselines": frozenset({"core", "embedding", "llm", "vectorstore",
                             "workload"}),
     "persistence": frozenset({"analysis", "core", "vectorstore", "workload"}),
+    # The gateway is the outermost layer — the network face over the whole
+    # stack.  Nothing imports it back, so the DAG stays acyclic.
+    "gateway": frozenset({"core", "llm", "persistence", "pipeline",
+                          "runtime", "serving", "workload"}),
 }
 
 _HOOK_NAME = re.compile(r"^(on|before|after)_")

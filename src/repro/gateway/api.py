@@ -1,0 +1,97 @@
+"""Wire schemas for the serving gateway: JSON ⇄ domain objects.
+
+The gateway speaks plain JSON over HTTP.  Requests serialize every field
+of :class:`repro.workload.request.Request` — including the float64
+``latent`` vector as a list of numbers, which survives a JSON round-trip
+bit-exactly (Python emits shortest-repr floats and parses them back to the
+identical double) — so a request replayed through the loopback gateway is
+*the same request* the in-process simulator sees, and the determinism
+equivalence of ``docs/GATEWAY.md`` can hold to the bit.
+
+Responses carry the :class:`repro.serving.records.ServedRequest`
+observables (decision, quality, latency decomposition); errors are
+``{"error": ..., "detail": ...}`` objects paired with the HTTP status.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.serving.records import ServedRequest
+from repro.workload.request import Request, TaskType
+
+
+def request_to_payload(request: Request,
+                       arrival_time: float | None = None) -> dict:
+    """Serialize a request for the wire.
+
+    ``arrival_time`` is the *gateway scheduling* stamp — when this arrival
+    happens on the gateway's logical clock.  It rides the envelope key
+    ``gateway_arrival_s``, deliberately separate from the request's own
+    ``arrival_time`` field (dataset metadata that must survive the wire
+    unchanged: it is part of the cached example state the equivalence test
+    compares bit-for-bit).  Omit it and the gateway schedules the arrival
+    at its current watermark.
+    """
+    payload = {
+        "request_id": request.request_id,
+        "dataset": request.dataset,
+        "task": request.task.value,
+        "text": request.text,
+        "latent": [float(x) for x in np.asarray(request.latent).ravel()],
+        "topic_id": int(request.topic_id),
+        "difficulty": float(request.difficulty),
+        "prompt_tokens": int(request.prompt_tokens),
+        "target_output_tokens": int(request.target_output_tokens),
+        "arrival_time": float(request.arrival_time),
+        "metadata": dict(request.metadata),
+    }
+    if arrival_time is not None:
+        payload["gateway_arrival_s"] = float(arrival_time)
+    return payload
+
+
+def request_from_payload(payload: dict) -> Request:
+    """Rebuild a :class:`Request` from its wire form (validating shape)."""
+    try:
+        return Request(
+            request_id=str(payload["request_id"]),
+            dataset=str(payload.get("dataset", "gateway")),
+            task=TaskType(payload["task"]),
+            text=str(payload["text"]),
+            latent=np.asarray(payload["latent"], dtype=np.float64),
+            topic_id=int(payload.get("topic_id", 0)),
+            difficulty=float(payload.get("difficulty", 0.5)),
+            prompt_tokens=int(payload.get("prompt_tokens", 0)),
+            target_output_tokens=int(payload.get("target_output_tokens", 64)),
+            arrival_time=float(payload.get("arrival_time", 0.0)),
+            metadata=dict(payload.get("metadata", {})),
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        raise PayloadError(f"bad request payload: {exc}") from exc
+
+
+def record_to_payload(record: ServedRequest) -> dict:
+    """Serialize one completed request's serving observables."""
+    return {
+        "request_id": record.request_id,
+        "model_name": record.model_name,
+        "arrival_s": record.arrival_s,
+        "start_s": record.start_s,
+        "finish_s": record.finish_s,
+        "queue_wait_s": record.queue_wait_s,
+        "ttft_s": record.ttft_s,
+        "quality": record.quality,
+        "prompt_tokens": record.prompt_tokens,
+        "output_tokens": record.output_tokens,
+        "n_examples": record.n_examples,
+        "cost": record.cost,
+    }
+
+
+def error_payload(error: str, detail: str = "") -> dict:
+    return {"error": error, "detail": detail}
+
+
+class PayloadError(ValueError):
+    """A wire payload that does not parse into a domain object (HTTP 400)."""

@@ -1,0 +1,105 @@
+"""A minimal asyncio JSON client for the serving gateway.
+
+One keep-alive HTTP/1.1 connection per client, requests issued strictly
+in order on it — which is exactly what the determinism-equivalence
+harness needs: a trace replayed by one ``GatewayClient`` reaches the
+gateway's single writer in trace order, so the loopback run *is* the
+batch run (``tests/test_gateway_equivalence.py``).  Concurrency tests
+open one client per simulated tenant instead.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+
+class GatewayResponse:
+    """Status code + parsed JSON body of one gateway reply."""
+
+    __slots__ = ("status", "payload")
+
+    def __init__(self, status: int, payload: dict) -> None:
+        self.status = status
+        self.payload = payload
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"GatewayResponse({self.status}, {self.payload!r})"
+
+
+class GatewayClient:
+    """Sequential JSON-over-HTTP client on one persistent connection."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> "GatewayClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._reader = self._writer = None
+
+    async def __aenter__(self) -> "GatewayClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # -- verbs -------------------------------------------------------------
+
+    async def get(self, path: str) -> GatewayResponse:
+        return await self._request("GET", path, None)
+
+    async def post(self, path: str, payload: dict | None = None,
+                   ) -> GatewayResponse:
+        return await self._request("POST", path, payload or {})
+
+    # -- plumbing ----------------------------------------------------------
+
+    async def _request(self, method: str, path: str,
+                       payload: dict | None) -> GatewayResponse:
+        if self._writer is None or self._reader is None:
+            raise RuntimeError("client is not connected; call connect()")
+        body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"host: {self.host}:{self.port}\r\n"
+            "content-type: application/json\r\n"
+            f"content-length: {len(body)}\r\n\r\n"
+        ).encode("ascii")
+        self._writer.write(head + body)
+        await self._writer.drain()
+        return await self._read_response()
+
+    async def _read_response(self) -> GatewayResponse:
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("gateway closed the connection")
+        parts = status_line.decode("ascii").split(" ", 2)
+        status = int(parts[1])
+        length = 0
+        while True:
+            raw = await self._reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        body = await self._reader.readexactly(length) if length else b""
+        return GatewayResponse(status, json.loads(body) if body else {})

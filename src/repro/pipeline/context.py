@@ -58,3 +58,14 @@ class ServeContext:
         """True when routing diverted the request off the reference model."""
         return bool(self.choice is not None
                     and self.choice.metadata.get("offloaded", False))
+
+    @property
+    def tenant(self) -> str:
+        """The tenant this request bills to (``"default"`` when unstated).
+
+        The serving gateway stamps ``request.metadata["tenant"]`` at
+        admission (per-tenant rate limits key on it); threading it through
+        the context lets middleware and policies aggregate per tenant
+        without re-deriving the convention.
+        """
+        return str(self.request.metadata.get("tenant", "default"))

@@ -111,3 +111,31 @@ class EventLoop:
         while self.step() is not None:
             pass
         return self.processed - start
+
+    def run_until(self, until: float) -> int:
+        """Dispatch events *strictly before* ``until``, then advance to it.
+
+        The incremental counterpart of :meth:`run`, for callers that feed
+        events in from outside the loop (the serving gateway's live
+        sessions): everything scheduled before ``until`` fires — including
+        cascades the handlers schedule inside the window — events at
+        exactly ``until`` stay queued, and :attr:`now` lands on ``until``.
+
+        The strict ``<`` is deliberate and is the cross-path determinism
+        contract: a batch run pre-schedules its arrivals, so an arrival at
+        time ``t`` carries a lower insertion seq than any completion
+        scheduled *during* the run at the same ``t`` and fires first.  An
+        incremental caller injecting that arrival by hand reproduces the
+        same order only if ``run_until(t)`` leaves the completion at ``t``
+        in the heap for the next advance.  Returns events processed by
+        this call.
+        """
+        if until < self.now:
+            raise ValueError(
+                f"cannot run until {until} before now={self.now}"
+            )
+        start = self.processed
+        while self._heap and self._heap[0][0] < until:
+            self.step()
+        self.now = float(until)
+        return self.processed - start

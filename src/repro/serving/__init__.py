@@ -17,7 +17,13 @@ from repro.serving.engine import (
     BatchPolicy,
     RequestBatcher,
 )
-from repro.serving.records import ScalingEvent, ServedRequest, ServingReport
+from repro.serving.records import (
+    RateLimitEvent,
+    ScalingEvent,
+    ServedRequest,
+    ServingReport,
+    ShedEvent,
+)
 from repro.serving.metrics import replica_series, windowed_series
 from repro.serving.autoscaler import BiasAutoscaler, ScalingDecision
 
@@ -28,9 +34,11 @@ __all__ = [
     "BatchedRetrievalEngine",
     "BatchPolicy",
     "RequestBatcher",
+    "RateLimitEvent",
     "ScalingEvent",
     "ServedRequest",
     "ServingReport",
+    "ShedEvent",
     "replica_series",
     "windowed_series",
     "BiasAutoscaler",

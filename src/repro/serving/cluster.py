@@ -218,6 +218,23 @@ class ClusterSimulator:
         simulator (matching the pre-runtime accumulation semantics); use a
         fresh ``ClusterSimulator`` per independently-measured run.
         """
+        loop = self.start_sources(sources, on_complete=on_complete)
+        loop.run()
+        return self.report
+
+    def start_sources(self, sources: Sequence,
+                      on_complete: Callable[[Request, ServedRequest], None] | None = None,
+                      ) -> EventLoop:
+        """Open an *incremental* run: attach sources, but do not drain.
+
+        Same setup as :meth:`run_sources` — fresh loop, ``finish`` handler,
+        sources attached in order — returning the live loop instead of
+        running it to completion.  The caller then interleaves its own
+        work with :meth:`advance_to` / :meth:`run_pending`, which is how
+        the serving gateway feeds network arrivals into the identical
+        event machinery the batch simulator runs (the determinism-
+        equivalence contract of ``docs/GATEWAY.md``).
+        """
         if self._loop is not None:
             self._events_prior += self._loop.processed
         loop = EventLoop()
@@ -226,8 +243,33 @@ class ClusterSimulator:
         loop.on(FINISH, self._handle_finish)
         for source in sources:
             source.attach(loop, self)
-        loop.run()
-        return self.report
+        return loop
+
+    def advance_to(self, until: float) -> int:
+        """Process events strictly before ``until``; ``now`` lands on it.
+
+        Incremental-run primitive (see :meth:`start_sources`).  The strict
+        bound mirrors the batch path's tie-break: an arrival injected *at*
+        the new watermark must precede any completion scheduled at the
+        same instant, exactly as pre-scheduled arrivals do in
+        :meth:`run_sources` (lower insertion seq).  Returns the number of
+        events processed.
+        """
+        if self._loop is None:
+            raise RuntimeError("no active run: call start_sources() first")
+        return self._loop.run_until(until)
+
+    def run_pending(self) -> int:
+        """Drain every scheduled event (completion chains included).
+
+        Incremental-run primitive: ends the in-flight work of a session —
+        the gateway's graceful drain — by running the loop to idle.  Only
+        safe when no earlier-stamped arrivals can still be injected;
+        ``now`` afterwards sits at the last completion.
+        """
+        if self._loop is None:
+            raise RuntimeError("no active run: call start_sources() first")
+        return self._loop.run()
 
     # ----- host surface the event sources drive --------------------------
 

@@ -85,6 +85,22 @@ class ShedEvent:
     request_id: str
 
 
+@dataclass(frozen=True)
+class RateLimitEvent:
+    """One request refused by a per-tenant token bucket.
+
+    Emitted by the serving gateway (:mod:`repro.gateway`) when a tenant's
+    :class:`~repro.gateway.limits.TokenBucket` has no tokens at the
+    request's logical arrival time — the per-tenant fairness backstop in
+    front of the cluster, applied *before* routing so a limited request
+    consumes no pipeline state (no RNG draws, no parked context).
+    """
+
+    time_s: float
+    tenant: str
+    request_id: str
+
+
 @dataclass
 class ServingReport:
     """Aggregates over one simulated run.
@@ -100,6 +116,7 @@ class ServingReport:
     records: list[ServedRequest] = field(default_factory=list)
     scaling: list[ScalingEvent] = field(default_factory=list)
     shed: list[ShedEvent] = field(default_factory=list)
+    rate_limited: list[RateLimitEvent] = field(default_factory=list)
 
     @property
     def n(self) -> int:
@@ -164,6 +181,7 @@ class ServingReport:
         return {
             "n_served": self.n,
             "n_shed": len(self.shed),
+            "n_rate_limited": len(self.rate_limited),
             "shed_rate": r9(self.shed_rate),
             "throughput_rps": r9(self.throughput_rps),
             "latency_s": {
@@ -183,5 +201,8 @@ class ServingReport:
             ],
             "shed_timeline": [
                 [r9(e.time_s), e.model_name] for e in self.shed
+            ],
+            "rate_limited_timeline": [
+                [r9(e.time_s), e.tenant] for e in self.rate_limited
             ],
         }

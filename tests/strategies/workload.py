@@ -36,6 +36,7 @@ __all__ = [
     "composite_traces",
     "adversarial_traces",
     "chaos_windows",
+    "gateway_workloads",
 ]
 
 
@@ -147,3 +148,30 @@ def chaos_windows(draw, duration_s: float,
                                 max_value=duration_s * 0.5))
         windows.append((start, min(start + length, duration_s)))
     return windows
+
+
+@st.composite
+def gateway_workloads(draw, max_clients: int = 4,
+                      max_ops: int = 5) -> dict:
+    """Concurrent-client plans for the serving gateway.
+
+    Draws a small fleet of async clients, each with its own tenant and an
+    op sequence mixing blocking ``serve``, micro-batched ``serve_batch``,
+    and fire-and-forget ``submit`` — the interleavings the gateway's
+    single-writer discipline must serialize.  The shrinker minimizes over
+    plan structure (fewer clients, shorter sequences, smaller batches).
+    """
+    n_clients = draw(st.integers(min_value=2, max_value=max_clients))
+    clients = []
+    for c in range(n_clients):
+        n_ops = draw(st.integers(min_value=1, max_value=max_ops))
+        ops = []
+        for _ in range(n_ops):
+            kind = draw(st.sampled_from(["serve", "serve_batch", "submit"]))
+            if kind == "serve_batch":
+                ops.append((kind, draw(st.integers(min_value=1,
+                                                   max_value=4))))
+            else:
+                ops.append((kind, 1))
+        clients.append({"tenant": f"tenant-{c % 2}", "ops": ops})
+    return {"clients": clients, "seed": draw(seeds())}

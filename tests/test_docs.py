@@ -23,6 +23,7 @@ DOC_FILES = [
     REPO_ROOT / "docs" / "PIPELINE.md",
     REPO_ROOT / "docs" / "PERFORMANCE.md",
     REPO_ROOT / "docs" / "RUNTIME.md",
+    REPO_ROOT / "docs" / "GATEWAY.md",
     REPO_ROOT / "docs" / "PERSISTENCE.md",
     REPO_ROOT / "docs" / "TESTING.md",
     REPO_ROOT / "docs" / "STATIC_ANALYSIS.md",

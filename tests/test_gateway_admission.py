@@ -1,0 +1,224 @@
+"""Admission control at the gateway: queue-depth shedding and tenant limits.
+
+Satellite coverage for ``docs/GATEWAY.md``: the token-bucket units, the
+session-level 503 (shed → :class:`ShedEvent`) and 429 (token bucket →
+:class:`RateLimitEvent`) paths, both counted in :meth:`slo_report`, the
+guarantee that a rate-limited request consumes *no* pipeline state, and
+the HTTP status mapping through a live loopback gateway.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.config import ICCacheConfig, ManagerConfig
+from repro.core.service import ICCacheService
+from repro.gateway import (
+    ACCEPTED,
+    RATE_LIMITED,
+    SHED,
+    AsyncGateway,
+    GatewayClient,
+    GatewaySession,
+    TenantRateLimiter,
+    TokenBucket,
+    request_to_payload,
+)
+from repro.serving.cluster import ClusterConfig, ModelDeployment
+from repro.workload import SyntheticDataset
+
+from tests.conftest import make_request
+
+SEED = 23
+
+
+def build_service(seed: int = SEED, bank: int = 40) -> ICCacheService:
+    service = ICCacheService(
+        ICCacheConfig(seed=seed, manager=ManagerConfig(sanitize=False))
+    )
+    dataset = SyntheticDataset("ms_marco", scale=0.0005, seed=seed)
+    service.seed_cache(dataset.example_bank_requests()[:bank])
+    return service
+
+
+def cluster_config(service: ICCacheService,
+                   max_queue_depth: int | None = None,
+                   replicas_small: int = 2) -> ClusterConfig:
+    return ClusterConfig(deployments=[
+        ModelDeployment(service.models[service.small_name],
+                        replicas=replicas_small),
+        ModelDeployment(service.models[service.large_name], replicas=1),
+    ], max_queue_depth=max_queue_depth)
+
+
+class TestTokenBucket:
+    def test_starts_full_and_depletes(self):
+        bucket = TokenBucket(capacity=2, refill_per_s=0.0)
+        assert bucket.try_acquire(0.0)
+        assert bucket.try_acquire(0.0)
+        assert not bucket.try_acquire(0.0)
+
+    def test_refills_on_logical_time(self):
+        bucket = TokenBucket(capacity=1, refill_per_s=0.5)
+        assert bucket.try_acquire(0.0)
+        assert not bucket.try_acquire(1.0)   # only 0.5 tokens back
+        assert bucket.try_acquire(3.0)       # full again (clamped)
+
+    def test_refill_clamps_at_capacity(self):
+        bucket = TokenBucket(capacity=3, refill_per_s=10.0)
+        for _ in range(3):
+            assert bucket.try_acquire(100.0)
+        assert not bucket.try_acquire(100.0)
+
+    def test_time_never_runs_backwards(self):
+        bucket = TokenBucket(capacity=1, refill_per_s=1.0)
+        assert bucket.try_acquire(5.0)
+        # An out-of-order stamp must not grant negative refill or raise.
+        assert not bucket.try_acquire(4.0)
+        assert bucket.try_acquire(6.0)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            TokenBucket(capacity=0, refill_per_s=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(capacity=1, refill_per_s=-1.0)
+
+
+class TestTenantRateLimiter:
+    def test_buckets_are_per_tenant(self):
+        limiter = TenantRateLimiter(capacity=1, refill_per_s=0.0)
+        assert limiter.admit("a", 0.0)
+        assert limiter.admit("b", 0.0)       # b has its own bucket
+        assert not limiter.admit("a", 0.0)
+        assert limiter.tenants() == ["a", "b"]
+
+    def test_overrides_give_tiered_plans(self):
+        limiter = TenantRateLimiter(capacity=1, refill_per_s=0.0,
+                                    overrides={"gold": (3.0, 0.0)})
+        assert [limiter.admit("gold", 0.0) for _ in range(4)] == \
+            [True, True, True, False]
+        assert [limiter.admit("free", 0.0) for _ in range(2)] == [True, False]
+
+
+class TestSessionAdmission:
+    def test_queue_depth_shed_records_event_and_slo(self):
+        service = build_service()
+        session = GatewaySession(
+            service, cluster_config(service, max_queue_depth=1,
+                                    replicas_small=1))
+        dataset = SyntheticDataset("ms_marco", scale=0.0005, seed=SEED)
+        statuses = [session.submit(r, 0.0)
+                    for r in dataset.online_requests(30)]
+        assert SHED in statuses, "burst at t=0 should overflow the queue cap"
+        report = session.report.slo_report()
+        assert report["n_shed"] == statuses.count(SHED)
+        assert len(report["shed_timeline"]) == report["n_shed"]
+        assert report["n_shed"] + session.accepted == len(statuses)
+
+    def test_rate_limit_records_event_and_slo(self):
+        service = build_service()
+        limiter = TenantRateLimiter(capacity=2, refill_per_s=0.0)
+        session = GatewaySession(service, cluster_config(service),
+                                 rate_limiter=limiter)
+        statuses = [session.submit(make_request(f"r{i}"), float(i))
+                    for i in range(5)]
+        assert statuses == [ACCEPTED, ACCEPTED,
+                            RATE_LIMITED, RATE_LIMITED, RATE_LIMITED]
+        report = session.report.slo_report()
+        assert report["n_rate_limited"] == 3
+        assert report["rate_limited_timeline"] == [
+            [2.0, "default"], [3.0, "default"], [4.0, "default"]]
+
+    def test_tenant_comes_from_request_metadata(self):
+        service = build_service()
+        limiter = TenantRateLimiter(capacity=1, refill_per_s=0.0)
+        session = GatewaySession(service, cluster_config(service),
+                                 rate_limiter=limiter)
+        a1, a2 = make_request("a1"), make_request("a2")
+        b1 = make_request("b1")
+        a1.metadata["tenant"] = a2.metadata["tenant"] = "tenant-a"
+        b1.metadata["tenant"] = "tenant-b"
+        assert session.submit(a1, 0.0) == ACCEPTED
+        assert session.submit(b1, 0.0) == ACCEPTED
+        assert session.submit(a2, 0.0) == RATE_LIMITED
+        events = session.report.rate_limited
+        assert [(e.tenant, e.request_id) for e in events] == \
+            [("tenant-a", "a2")]
+
+    def test_rate_limited_request_leaves_no_pipeline_trace(self):
+        """429 happens *before* routing: no RNG draws, no parked context,
+        no stats movement — the pipeline never saw the request."""
+        def run(submit_limited: bool):
+            service = build_service()
+            limiter = TenantRateLimiter(capacity=1, refill_per_s=0.0)
+            session = GatewaySession(service, cluster_config(service),
+                                     rate_limiter=limiter)
+            assert session.submit(make_request("ok"), 0.0) == ACCEPTED
+            if submit_limited:
+                assert session.submit(make_request("blocked"), 0.0) \
+                    == RATE_LIMITED
+            session.run_pending()
+            return service
+
+        control = run(submit_limited=False)
+        limited = run(submit_limited=True)
+        assert not limited.pipeline._pending, "429 must not park a context"
+        assert limited.stats.served == control.stats.served
+        for name in limited.models:
+            assert limited.router.pulls(name) == control.router.pulls(name)
+        # The next decision draws the same RNG stream position.
+        assert limited._rng.uniform() == control._rng.uniform()
+
+
+class TestGatewayHttpStatuses:
+    def _run(self, coro):
+        return asyncio.run(coro)
+
+    def test_shed_is_503_and_rate_limit_is_429(self):
+        async def scenario():
+            service = build_service()
+            limiter = TenantRateLimiter(
+                capacity=50, refill_per_s=0.0,
+                overrides={"limited": (1.0, 0.0)})
+            session = GatewaySession(
+                service, cluster_config(service, max_queue_depth=1,
+                                        replicas_small=1),
+                rate_limiter=limiter)
+            gateway = AsyncGateway(session)
+            await gateway.start()
+            try:
+                async with GatewayClient("127.0.0.1", gateway.port) as client:
+                    # Tenant-limit probe first, while queues are empty —
+                    # under congestion the second refusal would be a shed.
+                    limited = make_request("limited-1")
+                    limited.metadata["tenant"] = "limited"
+                    first = await client.post(
+                        "/submit", request_to_payload(limited, 0.0))
+                    limited2 = make_request("limited-2")
+                    limited2.metadata["tenant"] = "limited"
+                    second = await client.post(
+                        "/submit", request_to_payload(limited2, 0.0))
+                    dataset = SyntheticDataset("ms_marco", scale=0.0005,
+                                               seed=SEED)
+                    codes = []
+                    for request in dataset.online_requests(30):
+                        resp = await client.post(
+                            "/submit", request_to_payload(request, 0.0))
+                        codes.append(resp.status)
+                    stats = await client.get("/stats")
+                    bad = await client.post("/submit", {"nope": 1})
+                    missing = await client.get("/records/never-served")
+                    return codes, first, second, stats, bad, missing
+            finally:
+                await gateway.shutdown()
+
+        codes, first, second, stats, bad, missing = self._run(scenario())
+        assert 200 in codes and 503 in codes
+        assert (first.status, second.status) == (200, 429)
+        slo = stats.payload["slo"]
+        assert slo["n_shed"] == codes.count(503)
+        assert slo["n_rate_limited"] == 1
+        assert bad.status == 400 and "error" in bad.payload
+        assert missing.status == 404

@@ -1,0 +1,181 @@
+"""Graceful drain: SIGTERM == a clean checkpoint boundary, bit for bit.
+
+The gateway's shutdown contract (``docs/GATEWAY.md``): on SIGTERM the
+gateway stops admitting, *flushes in-flight work* (the event loop runs to
+idle, so every accepted request completes and its record lands), takes a
+:class:`Checkpointer` snapshot, and closes.  A warm-restarted gateway that
+recovers from that checkpoint and serves the rest of the trace must end
+bit-identical — records, stats, clock, cache, learned state — to a control
+gateway that served the whole trace uninterrupted.  This mirrors the
+crash-recovery pin of ``tests/test_persistence_recovery.py``, but for the
+*orderly* shutdown path: drain loses nothing at all, not even the one
+tick of work a crash may lose.
+
+The trace is widely spaced (one arrival per 60 s of logical time) so the
+drain point is quiescent — the split must land between completed requests
+for the control comparison to be meaningful.  The SIGTERM itself is real:
+``os.kill`` against the test process, caught by the gateway's asyncio
+signal handler mid-workload, while the last accepted request's finish
+event is still in the heap (the flush has actual work to do).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import tempfile
+from pathlib import Path
+
+from repro.core.config import ICCacheConfig, ManagerConfig
+from repro.core.service import ICCacheService
+from repro.gateway import (
+    AsyncGateway,
+    GatewayClient,
+    GatewaySession,
+    request_to_payload,
+)
+from repro.persistence.wal import Checkpointer
+from repro.serving.cluster import ClusterConfig, ModelDeployment
+from repro.workload import SyntheticDataset
+
+SEED = 29
+BANK = 60
+N_TOTAL = 24
+N_BEFORE = 12          # served before the SIGTERM
+SPACING_S = 60.0       # quiescent gaps: every request finishes before the next
+
+
+def _build() -> tuple[ICCacheService, SyntheticDataset]:
+    service = ICCacheService(
+        ICCacheConfig(seed=SEED, manager=ManagerConfig(sanitize=False))
+    )
+    dataset = SyntheticDataset("ms_marco", scale=0.0005, seed=SEED)
+    service.seed_cache(dataset.example_bank_requests()[:BANK])
+    return service, dataset
+
+
+def _cluster_config(service: ICCacheService) -> ClusterConfig:
+    return ClusterConfig(deployments=[
+        ModelDeployment(service.models[service.small_name], replicas=2),
+        ModelDeployment(service.models[service.large_name], replicas=1),
+    ])
+
+
+def _trace(dataset: SyntheticDataset) -> list:
+    return [(i * SPACING_S, r)
+            for i, r in enumerate(dataset.online_requests(N_TOTAL))]
+
+
+def _record_snap(records) -> list:
+    return [(r.request_id, r.model_name, round(r.quality, 12), r.n_examples,
+             round(r.arrival_s, 9), round(r.finish_s, 9)) for r in records]
+
+
+def _state_doc(service: ICCacheService) -> dict:
+    with tempfile.TemporaryDirectory() as tmp:
+        path = service.save(Path(tmp) / "state.json")
+        return json.loads(path.read_text(encoding="utf-8"))
+
+
+def _control() -> tuple[list, dict, object]:
+    """The uninterrupted run: whole trace through one session."""
+    service, dataset = _build()
+    session = GatewaySession(service, _cluster_config(service))
+    for t, request in _trace(dataset):
+        assert session.submit(request, t) == "accepted"
+    session.run_pending()
+    return _record_snap(session.report.records), _state_doc(service), service
+
+
+def _interrupted(ckpt_dir: Path) -> tuple[list, dict, object]:
+    """First half over HTTP until a real SIGTERM, then a warm restart."""
+
+    async def phase_one() -> tuple[list, list]:
+        service, dataset = _build()
+        trace = _trace(dataset)   # drawn once: the dataset is stateful
+        checkpointer = Checkpointer(service, ckpt_dir)
+        session = GatewaySession(service, _cluster_config(service),
+                                 checkpointer=checkpointer)
+        gateway = AsyncGateway(session)
+        await gateway.start()
+        gateway.install_signal_handlers()
+        loop = asyncio.get_running_loop()
+        try:
+            async with GatewayClient("127.0.0.1", gateway.port) as client:
+                for t, request in trace[:N_BEFORE]:
+                    resp = await client.post(
+                        "/submit", request_to_payload(request, t))
+                    assert resp.status == 200, resp.payload
+                # Mid-workload: the last request's finish event is still
+                # pending — the drain's flush has real work to do.
+                assert session.pending > 0
+                os.kill(os.getpid(), signal.SIGTERM)
+                await gateway.serve_forever()
+        finally:
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                loop.remove_signal_handler(sig)
+        assert session.drained
+        assert session.pending == 0, "drain must flush all in-flight work"
+        assert checkpointer.snapshot_path.is_file(), \
+            "graceful drain must leave a checkpoint behind"
+        return _record_snap(session.report.records), trace
+
+    records, trace = asyncio.run(phase_one())
+    assert len(records) == N_BEFORE
+
+    # Warm restart: recover from the drain checkpoint, serve the rest.
+    recovered = Checkpointer.recover(ckpt_dir)
+    session = GatewaySession(recovered, _cluster_config(recovered))
+    for t, request in trace[N_BEFORE:]:
+        assert session.submit(request, t) == "accepted"
+    session.run_pending()
+    records += _record_snap(session.report.records)
+    return records, _state_doc(recovered), recovered
+
+
+def test_drain_then_warm_restart_is_bit_identical(tmp_path):
+    control_records, control_state, control_service = _control()
+    drained_records, drained_state, drained_service = \
+        _interrupted(tmp_path / "ckpt")
+
+    assert drained_records == control_records
+    assert drained_service.stats == control_service.stats
+    assert drained_service.clock.now == control_service.clock.now
+    assert sorted(ex.example_id for ex in drained_service.cache) == \
+        sorted(ex.example_id for ex in control_service.cache)
+    assert drained_state == control_state
+
+
+def test_submissions_during_drain_are_refused(tmp_path):
+    async def scenario():
+        service, dataset = _build()
+        checkpointer = Checkpointer(service, tmp_path / "ckpt2")
+        session = GatewaySession(service, _cluster_config(service),
+                                 checkpointer=checkpointer)
+        gateway = AsyncGateway(session)
+        await gateway.start()
+        try:
+            async with GatewayClient("127.0.0.1", gateway.port) as client:
+                trace = _trace(dataset)
+                for t, request in trace[:2]:
+                    await client.post("/submit", request_to_payload(request, t))
+                drained = await client.post("/drain")
+                assert drained.status == 200
+                health = await client.get("/health")
+                assert health.payload["status"] == "draining"
+                # New work is refused, reads still answer.
+                t, request = trace[2]
+                refused = await client.post(
+                    "/submit", request_to_payload(request, t))
+                assert refused.status == 503
+                assert refused.payload["error"] == "draining"
+                stats = await client.get("/stats")
+                assert stats.payload["gateway"]["draining"] is True
+                assert stats.payload["gateway"]["completed"] == 2
+        finally:
+            await gateway.shutdown()
+        assert checkpointer.snapshot_path.is_file()
+
+    asyncio.run(scenario())

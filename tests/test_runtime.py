@@ -354,3 +354,88 @@ class TestComposedDeterminism:
                      for e in report.scaling])
 
         assert run_once() == run_once()
+
+
+class TestIncrementalRun:
+    """The gateway-facing incremental primitives: ``run_until``,
+    ``start_sources`` / ``advance_to`` / ``run_pending``."""
+
+    def test_run_until_dispatches_strictly_before_watermark(self):
+        loop = EventLoop()
+        seen = []
+        loop.on("e", lambda ev: seen.append(ev.time))
+        for t in (1.0, 2.0, 3.0):
+            loop.schedule(t, "e", None)
+        assert loop.run_until(2.0) == 1      # only t=1.0 fires
+        assert seen == [1.0]
+        assert loop.now == 2.0               # watermark advances anyway
+        assert loop.run_until(2.0) == 0      # idempotent at the watermark
+        assert loop.run() == 2               # the rest still dispatches
+
+    def test_run_until_rejects_time_travel(self):
+        loop = EventLoop()
+        loop.run_until(5.0)
+        with pytest.raises(ValueError):
+            loop.run_until(4.0)
+
+    def test_same_time_work_precedes_pending_finish(self):
+        # The tie-break contract behind gateway<->simulator equivalence: a
+        # finish scheduled *at* the new watermark stays queued across
+        # run_until (strict bound), so inline work the caller performs at
+        # that instant — the gateway routing an injected arrival — happens
+        # before it, exactly as a pre-scheduled arrival (lower insertion
+        # seq) would on the batch path.
+        loop = EventLoop()
+        order = []
+        loop.on("finish", lambda ev: order.append("finish"))
+        loop.schedule(1.0, "finish", None)
+        loop.run_until(1.0)                  # finish stays queued
+        order.append("arrival")              # inline injection at t=1.0
+        loop.run()
+        assert order == ["arrival", "finish"]
+
+    def test_incremental_feed_matches_batch_run(self):
+        """Feeding arrivals by hand through start_sources/advance_to is
+        bit-identical to the pre-scheduled batch run."""
+
+        def build():
+            service = ICCacheService(ICCacheConfig(
+                seed=13, manager=ManagerConfig(sanitize=False),
+            ))
+            dataset = SyntheticDataset("ms_marco", scale=0.0005, seed=13)
+            service.seed_cache(dataset.example_bank_requests()[:60])
+            arrivals = [(i * 0.25, r)
+                        for i, r in enumerate(dataset.online_requests(40))]
+            sim = ClusterSimulator(ClusterConfig(deployments=[
+                ModelDeployment(service.models[service.small_name], replicas=2),
+                ModelDeployment(service.models[service.large_name], replicas=1),
+            ]))
+            return service, sim, arrivals
+
+        def snap(report):
+            return [(r.request_id, r.model_name, r.quality, r.finish_s)
+                    for r in report.records]
+
+        service_a, sim_a, arrivals_a = build()
+        sim_a.run(arrivals_a, service_a.cluster_router(),
+                  on_complete=service_a.on_complete)
+
+        service_b, sim_b, arrivals_b = build()
+        router = service_b.cluster_router()
+        sim_b.start_sources([], on_complete=service_b.on_complete)
+        for t, request in arrivals_b:
+            sim_b.advance_to(t)
+            model_name, examples = router(request, sim_b)
+            queue = sim_b.enqueue(model_name, request, examples, t)
+            if queue is not None:
+                sim_b.drain(queue)
+        sim_b.run_pending()
+
+        assert snap(sim_a.report) == snap(sim_b.report)
+
+    def test_advance_requires_an_open_run(self):
+        sim = small_cluster()
+        with pytest.raises(RuntimeError):
+            sim.advance_to(1.0)
+        with pytest.raises(RuntimeError):
+            sim.run_pending()
